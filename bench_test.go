@@ -1,0 +1,102 @@
+// Package main's bench_test regenerates every table and figure of the
+// paper's evaluation as Go benchmarks, one per experiment:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark prints the paper-style table on its first iteration (use
+// -v or read stdout) and reports a meaningful per-iteration metric. The
+// same code paths back cmd/alpsbench.
+package main
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"rhea/internal/experiments"
+)
+
+// printOnce renders a table to stdout on the first benchmark iteration
+// only, so -bench output stays readable at higher -benchtime.
+func printOnce(b *testing.B, i int, f func(w io.Writer)) {
+	if i == 0 {
+		f(os.Stdout)
+	}
+}
+
+func BenchmarkFig2_StokesWeakScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig2StokesWeakScaling(experiments.Small)
+		printOnce(b, i, func(w io.Writer) { t.Print(w) })
+	}
+}
+
+func BenchmarkFig5_AdaptationExtent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		l, r := experiments.Fig5AdaptationExtent(experiments.Small)
+		printOnce(b, i, func(w io.Writer) { l.Print(w); r.Print(w) })
+	}
+}
+
+func BenchmarkFig6_StrongScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig6StrongScaling(experiments.Small)
+		printOnce(b, i, func(w io.Writer) { t.Print(w) })
+	}
+}
+
+func BenchmarkFig7_WeakScalingBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bd, eff := experiments.Fig7WeakScalingBreakdown(experiments.Small)
+		printOnce(b, i, func(w io.Writer) { bd.Print(w); eff.Print(w) })
+	}
+}
+
+func BenchmarkFig8_MantleWeakScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig8MantleWeakScaling(experiments.Small)
+		printOnce(b, i, func(w io.Writer) { t.Print(w) })
+	}
+}
+
+func BenchmarkFig9_AMGPoissonVsLaplace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig9AMGPoissonVsLaplace(experiments.Small)
+		printOnce(b, i, func(w io.Writer) { t.Print(w) })
+	}
+}
+
+func BenchmarkFig10_AMRBreakdownTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig10AMRBreakdownTable(experiments.Small)
+		printOnce(b, i, func(w io.Writer) { t.Print(w) })
+	}
+}
+
+func BenchmarkSec6_YieldingReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Sec6YieldingStats(experiments.Small)
+		printOnce(b, i, func(w io.Writer) { t.Print(w) })
+	}
+}
+
+func BenchmarkFig12_SphereAdvection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig12SphereAdvection(experiments.Small)
+		printOnce(b, i, func(w io.Writer) { t.Print(w) })
+	}
+}
+
+func BenchmarkSec7_MatrixVsTensor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Sec7MatrixVsTensor(experiments.Small)
+		printOnce(b, i, func(w io.Writer) { t.Print(w) })
+	}
+}
+
+func BenchmarkSec7_DGWeakScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Sec7DGWeakScaling(experiments.Small)
+		printOnce(b, i, func(w io.Writer) { t.Print(w) })
+	}
+}

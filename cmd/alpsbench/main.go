@@ -1,0 +1,59 @@
+// Command alpsbench regenerates the paper's evaluation tables and figures
+// (Figs 2, 5, 6, 7, 8, 9, 10, the §VI statistics and the §VII kernel and
+// scaling studies) and prints them in the same rows/series the paper
+// reports.
+//
+// Usage:
+//
+//	alpsbench              # run every experiment at small scale
+//	alpsbench -fig 7       # one experiment
+//	alpsbench -scale full  # larger (slower) configurations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rhea/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which experiment: 2,5,6,7,8,9,10,sec6,12,sec7 or all")
+	scaleFlag := flag.String("scale", "small", "small or full")
+	flag.Parse()
+
+	scale := experiments.Small
+	if *scaleFlag == "full" {
+		scale = experiments.Full
+	}
+
+	run := func(name string, f func()) {
+		if *fig == "all" || *fig == name {
+			f()
+		}
+	}
+	w := os.Stdout
+	run("2", func() { experiments.Fig2StokesWeakScaling(scale).Print(w) })
+	run("5", func() {
+		l, r := experiments.Fig5AdaptationExtent(scale)
+		l.Print(w)
+		r.Print(w)
+	})
+	run("6", func() { experiments.Fig6StrongScaling(scale).Print(w) })
+	run("7", func() {
+		b, e := experiments.Fig7WeakScalingBreakdown(scale)
+		b.Print(w)
+		e.Print(w)
+	})
+	run("8", func() { experiments.Fig8MantleWeakScaling(scale).Print(w) })
+	run("9", func() { experiments.Fig9AMGPoissonVsLaplace(scale).Print(w) })
+	run("10", func() { experiments.Fig10AMRBreakdownTable(scale).Print(w) })
+	run("sec6", func() { experiments.Sec6YieldingStats(scale).Print(w) })
+	run("12", func() { experiments.Fig12SphereAdvection(scale).Print(w) })
+	run("sec7", func() {
+		experiments.Sec7MatrixVsTensor(scale).Print(w)
+		experiments.Sec7DGWeakScaling(scale).Print(w)
+	})
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,72 @@
+// Sphereadvect: the paper's Fig 12 demonstration — a temperature front
+// advected on a spherical shell decomposed into the 24-tree cubed-sphere
+// forest (6 caps x 4 trees), discretized with arbitrary-order nodal
+// discontinuous Galerkin elements and integrated with the five-stage
+// fourth-order Runge-Kutta method, while the forest adapts to the front
+// and repartitions between steps.
+package main
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"rhea/internal/dg"
+	"rhea/internal/forest"
+	"rhea/internal/morton"
+	"rhea/internal/sim"
+)
+
+func main() {
+	const (
+		ranks  = 4
+		order  = 3
+		cycles = 5
+	)
+	conn := forest.CubedSphere(2) // 24 trees, as in the paper
+	R := float64(morton.RootLen)
+	vel := func(f *forest.Forest, o forest.Octant) [3]float64 {
+		// Lateral transport within each cap (a crude zonal wind given in
+		// tree reference coordinates).
+		return [3]float64{0.35 * R, 0.1 * R, 0}
+	}
+
+	fmt.Printf("cubed sphere: %d trees, DG order %d, %d ranks\n\n", conn.NumTrees(), order, ranks)
+	sim.Run(ranks, func(r *sim.Rank) {
+		f := forest.New(r, conn, 2)
+		adv := dg.NewAdvection(f, order, vel, func(o forest.Octant, x [3]float64) float64 {
+			if o.Tree != 0 {
+				return 0
+			}
+			d2 := (x[0]-0.5*R)*(x[0]-0.5*R) + (x[1]-0.5*R)*(x[1]-0.5*R)
+			return math.Exp(-d2 / (0.02 * R * R))
+		})
+		for c := 1; c <= cycles; c++ {
+			dt := adv.StableDt(0.4)
+			for s := 0; s < 5; s++ {
+				adv.Step(dt)
+			}
+			n, moved := adv.AdaptOnce(0.1, 0.02, 4, vel)
+			// Where does the front live now? Count front elements per tree.
+			ind := adv.Indicator()
+			counts := make([]float64, conn.NumTrees())
+			for ei, o := range f.Leaves() {
+				if ind[ei] > 0.1 {
+					counts[o.Tree]++
+				}
+			}
+			all := r.AllreduceVec(counts)
+			maxAbs := adv.MaxAbs()
+			if r.ID() == 0 {
+				var hot []string
+				for tr, c := range all {
+					if c > 0 {
+						hot = append(hot, fmt.Sprintf("tree%d:%.0f", tr, c))
+					}
+				}
+				fmt.Printf("cycle %d: %d elements, %4d moved on repartition, max|T|=%.3f\n"+
+					"         front in %s\n", c, n, moved, maxAbs, strings.Join(hot, " "))
+			}
+		}
+	})
+}

@@ -1,0 +1,81 @@
+// Yielding: the paper's §VI headline experiment — mantle convection in an
+// 8 x 4 x 1 regional domain with the three-layer viscosity law that
+// yields plastically under high deviatoric stress, producing weak plate
+// boundaries above strong downwellings. The example runs several
+// adaptation cycles and reports the §VI accounting: elements used by AMR
+// versus the uniform mesh at the finest level, the resolved length scale,
+// and the viscosity range.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"rhea/internal/fem"
+	"rhea/internal/rhea"
+	"rhea/internal/sim"
+)
+
+func main() {
+	cfg := rhea.Config{
+		Dom: fem.Domain{Box: [3]float64{8, 4, 1}},
+		Ra:  1e6,
+		InitialTemp: func(x [3]float64) float64 {
+			T := 1 - x[2]
+			// Downwelling sheet: a cold anomaly in the upper boundary layer
+			// that will sink and localize stress, plus a hot plume source.
+			T -= 0.2 * math.Exp(-((x[0]-4)*(x[0]-4)/0.4 + (x[2]-0.9)*(x[2]-0.9)/0.002))
+			T += 0.2 * math.Exp(-((x[0]-2)*(x[0]-2)+(x[1]-2)*(x[1]-2)+(x[2]-0.2)*(x[2]-0.2))/0.05)
+			return math.Max(0, math.Min(1.3, T))
+		},
+		Visc:        rhea.YieldingLaw(1e3),
+		ViscMin:     1e-4,
+		ViscMax:     1e4,
+		BaseLevel:   3,
+		MinLevel:    2,
+		MaxLevel:    7,
+		TargetElems: 6000,
+		AdaptEvery:  6,
+		Picard:      2,
+		MinresTol:   1e-5,
+		MinresMax:   1500,
+	}
+
+	sim.Run(4, func(r *sim.Rank) {
+		s := rhea.New(r, cfg)
+		for c := 1; c <= 3; c++ {
+			res := s.SolveStokes()
+			s.AdvectSteps(cfg.AdaptEvery)
+			st := s.Adapt()
+			umax := s.MaxVelocity()
+			if r.ID() == 0 {
+				fmt.Printf("cycle %d: %d elements, MINRES %d its, max|u| %.2e\n",
+					c, st.ElementsNow, res.Iterations, umax)
+			}
+		}
+
+		// §VI accounting.
+		n := s.Tree.NumGlobal()
+		lo, hi := s.Tree.MinMaxLevel()
+		etas := s.ElementViscosity()
+		loEta, hiEta := math.Inf(1), math.Inf(-1)
+		for _, e := range etas {
+			loEta = math.Min(loEta, e)
+			hiEta = math.Max(hiEta, e)
+		}
+		gLo := r.Allreduce(loEta, sim.OpMin)
+		gHi := r.Allreduce(hiEta, sim.OpMax)
+		if r.ID() == 0 {
+			uniform := int64(1) << (3 * int64(hi))
+			fmt.Printf("\n--- Section VI accounting (scaled reproduction) ---\n")
+			fmt.Printf("AMR elements:            %d across levels %d..%d\n", n, lo, hi)
+			fmt.Printf("uniform mesh at level %d: %d elements\n", hi, uniform)
+			fmt.Printf("reduction factor:        %.0fx\n", float64(uniform)/float64(n))
+			fmt.Printf("finest resolution:       %.1f km (of 2900 km mantle depth)\n",
+				2900.0/float64(uint32(1)<<hi))
+			fmt.Printf("viscosity range:         %.2e .. %.2e (%.0e variation)\n",
+				gLo, gHi, gHi/gLo)
+			fmt.Printf("paper: 19.2M elements at 14 levels, >1000x reduction, ~1.5 km, 1e4 viscosity range\n")
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package dg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: LGL nodes are symmetric about zero and strictly increasing,
+// and the weights are symmetric and positive, for every order.
+func TestPropertyLGLSymmetry(t *testing.T) {
+	for p := 1; p <= 12; p++ {
+		b := NewBasis(p)
+		n := p + 1
+		for i := 0; i < n; i++ {
+			if math.Abs(b.Nodes[i]+b.Nodes[n-1-i]) > 1e-12 {
+				t.Fatalf("p=%d: nodes not symmetric: %v", p, b.Nodes)
+			}
+			if math.Abs(b.Weights[i]-b.Weights[n-1-i]) > 1e-12 {
+				t.Fatalf("p=%d: weights not symmetric", p)
+			}
+			if b.Weights[i] <= 0 {
+				t.Fatalf("p=%d: weight %d not positive", p, i)
+			}
+			if i > 0 && b.Nodes[i] <= b.Nodes[i-1] {
+				t.Fatalf("p=%d: nodes not increasing", p)
+			}
+		}
+		var ws float64
+		for _, w := range b.Weights {
+			ws += w
+		}
+		if math.Abs(ws-2) > 1e-12 {
+			t.Fatalf("p=%d: weights sum to %v, want 2", p, ws)
+		}
+	}
+}
+
+// Property: interpolation via EvalWeights reproduces arbitrary nodal data
+// at the nodes themselves and is a partition of unity everywhere.
+func TestPropertyEvalWeights(t *testing.T) {
+	b := NewBasis(6)
+	f := func(xRaw float64) bool {
+		if math.IsNaN(xRaw) || math.IsInf(xRaw, 0) {
+			return true
+		}
+		x := math.Mod(math.Abs(xRaw), 2) - 1 // map into [-1,1]
+		w := b.EvalWeights(x)
+		var s float64
+		for _, v := range w {
+			s += v
+		}
+		return math.Abs(s-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	for i, xn := range b.Nodes {
+		w := b.EvalWeights(xn)
+		for j, v := range w {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(v-want) > 1e-12 {
+				t.Fatalf("node %d weight %d = %v", i, j, v)
+			}
+		}
+	}
+}
+
+// Property: the derivative operators annihilate constants and are exact
+// on random polynomials of degree <= p (tensor and matrix agree by the
+// kernel test; here we check exactness of the composition on 3-D data).
+func TestPropertyDerivativeExactness(t *testing.T) {
+	k := NewKernels(3)
+	n := k.N
+	f := func(c0, c1, c2, c3 float64) bool {
+		for _, c := range []float64{c0, c1, c2, c3} {
+			if math.IsNaN(c) || math.IsInf(c, 0) || math.Abs(c) > 1e100 {
+				return true
+			}
+		}
+		// u(x,y,z) = c0 + c1 x^3 + c2 y^2 z + c3 x y z
+		u := make([]float64, n*n*n)
+		for l := 0; l < n; l++ {
+			for j := 0; j < n; j++ {
+				for i := 0; i < n; i++ {
+					x, y, z := k.B.Nodes[i], k.B.Nodes[j], k.B.Nodes[l]
+					u[i+n*(j+n*l)] = c0 + c1*x*x*x + c2*y*y*z + c3*x*y*z
+				}
+			}
+		}
+		du := make([]float64, n*n*n)
+		k.DerivTensor(u, du, 0)
+		for l := 0; l < n; l++ {
+			for j := 0; j < n; j++ {
+				for i := 0; i < n; i++ {
+					x, y, z := k.B.Nodes[i], k.B.Nodes[j], k.B.Nodes[l]
+					want := 3*c1*x*x + c3*y*z
+					if math.Abs(du[i+n*(j+n*l)]-want) > 1e-8*(1+math.Abs(want)) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Values: nil}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Eval3D agrees with direct tensor evaluation on random points.
+func TestPropertyEval3DConsistent(t *testing.T) {
+	b := NewBasis(4)
+	n := 5
+	u := make([]float64, n*n*n)
+	for i := range u {
+		u[i] = math.Sin(float64(i) * 0.7)
+	}
+	f := func(xr, yr, zr float64) bool {
+		for _, c := range []float64{xr, yr, zr} {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return true
+			}
+		}
+		x := math.Mod(math.Abs(xr), 2) - 1
+		y := math.Mod(math.Abs(yr), 2) - 1
+		z := math.Mod(math.Abs(zr), 2) - 1
+		got := b.Eval3D(u, x, y, z)
+		// Reference: nested 1-D evaluations along x, then y, then z.
+		wx, wy, wz := b.EvalWeights(x), b.EvalWeights(y), b.EvalWeights(z)
+		var want float64
+		for l := 0; l < n; l++ {
+			for j := 0; j < n; j++ {
+				for i := 0; i < n; i++ {
+					want += wx[i] * wy[j] * wz[l] * u[i+n*(j+n*l)]
+				}
+			}
+		}
+		return math.Abs(got-want) < 1e-10*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package errind
+
+import (
+	"rhea/internal/amg"
+	"rhea/internal/fem"
+	"rhea/internal/krylov"
+	"rhea/internal/la"
+	"rhea/internal/mesh"
+	"rhea/internal/sim"
+)
+
+// AdjointWeighted computes the goal-oriented refinement indicator of RHEA
+// (the paper lists "adjoint-based error estimators and refinement
+// criteria" among its components): for a goal functional
+//
+//	J(T) = integral psi(x) T(x) dx
+//
+// it solves the adjoint diffusion problem  -kappa Laplace(z) = psi  on
+// the current mesh (the transport term of the full dual is neglected —
+// the dual weight's job is to localize the goal, which the elliptic part
+// does), and returns per-element indicators
+//
+//	eta_e = variation_e(T) * variation_e(z),
+//
+// the primal interpolation error weighted by the dual sensitivity. Large
+// values mark elements whose error most pollutes J (collective).
+func AdjointWeighted(m *mesh.Mesh, dom fem.Domain, kappa float64, psi func(x [3]float64) float64, T *la.Vec, bc fem.ScalarBC) []float64 {
+	if kappa <= 0 {
+		kappa = 1
+	}
+	// Assemble and solve the dual problem.
+	A, b, _ := fem.AssembleScalar(m, dom,
+		func(ei int, h [3]float64) [8][8]float64 { return fem.StiffnessBrick(h, kappa) },
+		func(ei int, h [3]float64) [8]float64 {
+			lm := fem.LumpedMassBrick(h, 1)
+			var F [8]float64
+			for c := 0; c < 8; c++ {
+				F[c] = lm[c] * psi(dom.Coord(cornerOf(m, ei, c)))
+			}
+			return F
+		}, bc)
+	z := la.NewVec(m.Layout())
+	krylov.CG(A, amg.NewBlockJacobi(A, amg.Options{}), b, z, 1e-8, 500)
+
+	// Combine primal and dual element variations.
+	primal := Variation(m, T)
+	dual := Variation(m, z)
+	out := make([]float64, len(primal))
+	for i := range out {
+		out[i] = primal[i] * dual[i]
+	}
+	return out
+}
+
+// cornerOf returns the integer position of element ei's corner c.
+func cornerOf(m *mesh.Mesh, ei, c int) [3]uint32 {
+	return m.Corners[ei][c].Pos
+}
+
+// GoalValue evaluates J(T) = integral psi*T dx on the mesh (collective),
+// for reporting goal convergence alongside the indicator.
+func GoalValue(m *mesh.Mesh, dom fem.Domain, psi func(x [3]float64) float64, T *la.Vec) float64 {
+	vals := m.GatherReferenced(T)
+	var s float64
+	for ei, leaf := range m.Leaves {
+		h := dom.ElemSize(leaf)
+		w := h[0] * h[1] * h[2] / 8
+		for c := 0; c < 8; c++ {
+			x := dom.Coord(m.Corners[ei][c].Pos)
+			s += w * psi(x) * m.CornerValue(vals, ei, c)
+		}
+	}
+	return m.Rank.Allreduce(s, sim.OpSum)
+}

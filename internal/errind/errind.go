@@ -1,0 +1,165 @@
+// Package errind implements the error indication and element-marking
+// strategy of the paper (MARKELEMENTS, §IV.B): per-element error
+// indicators derived from the solution field, and an iterative global
+// threshold adjustment — using only collective communication, never a
+// global sort — that keeps the expected number of elements after
+// adaptation within a prescribed tolerance of a target.
+package errind
+
+import (
+	"math"
+
+	"rhea/internal/fem"
+	"rhea/internal/la"
+	"rhea/internal/mesh"
+	"rhea/internal/octree"
+	"rhea/internal/sim"
+)
+
+// Variation computes a cheap interpolation-error indicator per local
+// element: the corner-value range of the field (max - min), which is
+// large across unresolved fronts and zero where the field is constant.
+func Variation(m *mesh.Mesh, T *la.Vec) []float64 {
+	vals := m.GatherReferenced(T)
+	out := make([]float64, len(m.Leaves))
+	for ei := range m.Leaves {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for c := 0; c < 8; c++ {
+			v := m.CornerValue(vals, ei, c)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		out[ei] = hi - lo
+	}
+	return out
+}
+
+// GradH computes the indicator |grad T|_center * h, an h-weighted
+// gradient measure that equidistributes interpolation error.
+func GradH(m *mesh.Mesh, dom fem.Domain, T *la.Vec) []float64 {
+	vals := m.GatherReferenced(T)
+	out := make([]float64, len(m.Leaves))
+	xi := [3]float64{0.5, 0.5, 0.5}
+	for ei, leaf := range m.Leaves {
+		h := dom.ElemSize(leaf)
+		var g [3]float64
+		for c := 0; c < 8; c++ {
+			v := m.CornerValue(vals, ei, c)
+			sg := fem.ShapeGrad(c, xi)
+			for d := 0; d < 3; d++ {
+				g[d] += v * sg[d] / h[d]
+			}
+		}
+		hm := math.Min(h[0], math.Min(h[1], h[2]))
+		out[ei] = hm * math.Sqrt(g[0]*g[0]+g[1]*g[1]+g[2]*g[2])
+	}
+	return out
+}
+
+// Marks holds per-leaf adaptation decisions.
+type Marks struct {
+	Refine  []bool
+	Coarsen []bool
+	// RefineThreshold and CoarsenThreshold are the final thresholds.
+	RefineThreshold, CoarsenThreshold float64
+	// Expected is the predicted global element count after adaptation.
+	Expected int64
+	// Rounds is the number of collective adjustment iterations used.
+	Rounds int
+}
+
+// Options bounds the adaptation.
+type Options struct {
+	MaxLevel uint8   // never refine beyond this octree level
+	MinLevel uint8   // never coarsen below this level
+	Tol      float64 // relative tolerance on the element target (default 0.1)
+	MaxIter  int     // threshold adjustment iterations (default 30)
+}
+
+// MarkElements chooses refinement and coarsening thresholds so that the
+// expected global element count lands within tol of target (collective).
+// eta is the per-local-element indicator.
+func MarkElements(t *octree.Tree, eta []float64, target int64, opts Options) Marks {
+	if opts.Tol == 0 {
+		opts.Tol = 0.1
+	}
+	if opts.MaxIter == 0 {
+		opts.MaxIter = 30
+	}
+	if opts.MaxLevel == 0 {
+		opts.MaxLevel = 19
+	}
+	r := t.Rank()
+	leaves := t.Leaves()
+	var localMax float64
+	for _, e := range eta {
+		localMax = math.Max(localMax, e)
+	}
+	etaMax := r.Allreduce(localMax, sim.OpMax)
+	if etaMax == 0 {
+		etaMax = 1
+	}
+	nGlobal := t.NumGlobal()
+
+	thetaR := 0.5 * etaMax
+	ratio := 0.25 // thetaC = ratio * thetaR
+	step := 1.5
+	lastDir := 0
+	var best Marks
+	bestDiff := int64(math.MaxInt64)
+	m := Marks{}
+	for it := 1; it <= opts.MaxIter; it++ {
+		m.Rounds = it
+		thetaC := ratio * thetaR
+		m.Refine = make([]bool, len(leaves))
+		m.Coarsen = make([]bool, len(leaves))
+		var nRef int64
+		for i, o := range leaves {
+			if eta[i] > thetaR && o.Level < opts.MaxLevel {
+				m.Refine[i] = true
+				nRef++
+			} else if eta[i] < thetaC && o.Level > opts.MinLevel {
+				m.Coarsen[i] = true
+			}
+		}
+		fams := int64(t.CountCoarsenableFamilies(m.Coarsen))
+		gRef := r.AllreduceInt64(nRef)
+		gFam := r.AllreduceInt64(fams)
+		m.Expected = nGlobal + 7*gRef - 7*gFam
+		m.RefineThreshold = thetaR
+		m.CoarsenThreshold = thetaC
+
+		diff := m.Expected - target
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff < bestDiff {
+			bestDiff = diff
+			best = m
+			best.Refine = append([]bool(nil), m.Refine...)
+			best.Coarsen = append([]bool(nil), m.Coarsen...)
+		}
+		if float64(m.Expected) <= float64(target)*(1+opts.Tol) &&
+			float64(m.Expected) >= float64(target)*(1-opts.Tol) {
+			return m
+		}
+		// Damp the multiplicative step whenever we overshoot the target
+		// from the other side, so the thresholds settle on the closest
+		// achievable count even when counts are coarsely quantized.
+		dir := 1
+		if m.Expected < target {
+			dir = -1
+		}
+		if lastDir != 0 && dir != lastDir {
+			step = math.Sqrt(step)
+		}
+		lastDir = dir
+		if dir > 0 {
+			thetaR *= step
+		} else {
+			thetaR /= step
+		}
+	}
+	best.Rounds = m.Rounds
+	return best
+}

@@ -1,0 +1,65 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Figs 2, 5–10, 12, the §VI yielding statistics and the §VII
+// kernel study), at laptop scale, printing the same rows/series the paper
+// reports. Each experiment is shared between cmd/alpsbench (human-driven)
+// and the root bench_test.go (go test -bench).
+//
+// Numbers labeled "measured" come from actually executed runs (ranks are
+// goroutines); numbers labeled "modeled" are extrapolations through the
+// calibrated Ranger performance model (internal/perfmodel). EXPERIMENTS.md
+// records both against the paper's values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one printable experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Print renders the table.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			} else {
+				b.WriteString(c + "  ")
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func i64(v int64) string   { return fmt.Sprintf("%d", v) }
+func iN(v int) string      { return fmt.Sprintf("%d", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"math"
+	"time"
+
+	"rhea/internal/advect"
+	"rhea/internal/errind"
+	"rhea/internal/fem"
+	"rhea/internal/field"
+	"rhea/internal/la"
+	"rhea/internal/mesh"
+	"rhea/internal/morton"
+	"rhea/internal/octree"
+	"rhea/internal/sim"
+)
+
+// transportSim is the advection-dominated test problem of the paper's §V:
+// a sharp temperature front swept through the box by a fixed rotating
+// velocity field, with frequent coarsening/refinement and repartitioning.
+// It exercises every AMR function without the Stokes solver, exactly the
+// regime used to stress parallel adaptivity.
+type transportSim struct {
+	rank   *sim.Rank
+	tree   *octree.Tree
+	mesh   *mesh.Mesh
+	dom    fem.Domain
+	T      *la.Vec
+	target int64
+	minLvl uint8
+	maxLvl uint8
+	kappa  float64
+
+	// timings in seconds, same buckets as the paper's Fig 7
+	times map[string]*float64
+	steps int
+}
+
+// rotVel is a solid-body rotation about the box center in the x-z plane.
+func rotVel(x [3]float64) [3]float64 {
+	return [3]float64{-(x[2] - 0.5), 0, x[0] - 0.5}
+}
+
+func newTransportSim(r *sim.Rank, base, minLvl, maxLvl uint8, target int64) *transportSim {
+	s := &transportSim{
+		rank: r, dom: fem.UnitDomain, target: target,
+		minLvl: minLvl, maxLvl: maxLvl, kappa: 1e-4,
+	}
+	s.times = map[string]*float64{}
+	for _, k := range []string{"NewTree", "CoarsenRefine", "BalanceTree", "PartitionTree",
+		"ExtractMesh", "InterpolateFields", "TransferFields", "MarkElements", "TimeIntegration"} {
+		v := 0.0
+		s.times[k] = &v
+	}
+	t0 := time.Now()
+	s.tree = octree.New(r, base)
+	*s.times["NewTree"] += time.Since(t0).Seconds()
+	s.extract()
+	s.initField()
+	// Initial solution-adaptive rounds.
+	for i := 0; i < 2; i++ {
+		s.adapt()
+		s.initField()
+	}
+	return s
+}
+
+func (s *transportSim) initField() {
+	for i, pos := range s.mesh.OwnedPos {
+		x := s.dom.Coord(pos)
+		// Sharp spherical front off-center (it will rotate).
+		r := math.Sqrt((x[0]-0.3)*(x[0]-0.3) + (x[1]-0.5)*(x[1]-0.5) + (x[2]-0.3)*(x[2]-0.3))
+		s.T.Data[i] = 0.5 * (1 - math.Tanh((r-0.15)/0.03))
+	}
+}
+
+func (s *transportSim) extract() {
+	t0 := time.Now()
+	s.mesh = mesh.Extract(s.tree)
+	*s.times["ExtractMesh"] += time.Since(t0).Seconds()
+	s.T = la.NewVec(s.mesh.Layout())
+}
+
+func (s *transportSim) bc() fem.ScalarBC {
+	return func(x [3]float64) (float64, bool) { return 0, false }
+}
+
+// step advances n explicit SUPG steps.
+func (s *transportSim) step(n int) {
+	t0 := time.Now()
+	vel := make([][8][3]float64, len(s.mesh.Leaves))
+	for ei, leaf := range s.mesh.Leaves {
+		h := leaf.Len()
+		for c := 0; c < 8; c++ {
+			p := [3]uint32{leaf.X, leaf.Y, leaf.Z}
+			if c&1 != 0 {
+				p[0] += h
+			}
+			if c&2 != 0 {
+				p[1] += h
+			}
+			if c&4 != 0 {
+				p[2] += h
+			}
+			vel[ei][c] = rotVel(s.dom.Coord(p))
+		}
+	}
+	p := advect.New(s.mesh, s.dom, s.kappa, vel, nil, s.bc())
+	dt := p.StableDt(0.4)
+	for i := 0; i < n; i++ {
+		p.Step(s.T, dt)
+		s.steps++
+	}
+	*s.times["TimeIntegration"] += time.Since(t0).Seconds()
+}
+
+// adaptResult mirrors the paper's Fig 5 per-step data.
+type adaptResult struct {
+	Coarsened, Refined, BalanceAdded, Unchanged int64
+	Elements                                    int64
+	LevelCounts                                 []int64
+	MovedOnPartition                            int64 // elements that changed rank
+}
+
+func (s *transportSim) adapt() adaptResult {
+	var res adaptResult
+	prev := s.tree.NumGlobal()
+
+	t0 := time.Now()
+	eta := errind.Variation(s.mesh, s.T)
+	marks := errind.MarkElements(s.tree, eta, s.target, errind.Options{
+		MaxLevel: s.maxLvl, MinLevel: s.minLvl,
+	})
+	*s.times["MarkElements"] += time.Since(t0).Seconds()
+
+	t0 = time.Now()
+	data := field.FromNodal(s.mesh, s.T)
+	old := append([]morton.Octant(nil), s.tree.Leaves()...)
+	*s.times["InterpolateFields"] += time.Since(t0).Seconds()
+
+	t0 = time.Now()
+	nC := s.tree.CoarsenMarked(marks.Coarsen)
+	refSet := make(map[morton.Octant]struct{})
+	for i, m := range marks.Refine {
+		if m {
+			refSet[old[i]] = struct{}{}
+		}
+	}
+	ref2 := make([]bool, s.tree.NumLocal())
+	for i, o := range s.tree.Leaves() {
+		if _, ok := refSet[o]; ok {
+			ref2[i] = true
+		}
+	}
+	nR := s.tree.RefineMarked(ref2)
+	*s.times["CoarsenRefine"] += time.Since(t0).Seconds()
+
+	t0 = time.Now()
+	added, _ := s.tree.Balance()
+	*s.times["BalanceTree"] += time.Since(t0).Seconds()
+
+	t0 = time.Now()
+	data = field.ProjectData(old, s.tree.Leaves(), data)
+	*s.times["InterpolateFields"] += time.Since(t0).Seconds()
+
+	t0 = time.Now()
+	dests := s.tree.Partition()
+	*s.times["PartitionTree"] += time.Since(t0).Seconds()
+	var moved int64
+	for _, d := range dests {
+		if d != s.rank.ID() {
+			moved++
+		}
+	}
+
+	t0 = time.Now()
+	data = field.Transfer(s.rank, dests, data)
+	*s.times["TransferFields"] += time.Since(t0).Seconds()
+
+	s.extract()
+	t0 = time.Now()
+	s.T = field.ToNodal(s.mesh, data)
+	*s.times["InterpolateFields"] += time.Since(t0).Seconds()
+
+	res.Coarsened = s.rank.AllreduceInt64(int64(8 * nC))
+	res.Refined = s.rank.AllreduceInt64(int64(nR))
+	res.BalanceAdded = s.rank.AllreduceInt64(int64(added))
+	res.Elements = s.tree.NumGlobal()
+	res.Unchanged = prev - res.Refined - res.Coarsened
+	res.LevelCounts = s.tree.LevelCounts()
+	res.MovedOnPartition = s.rank.AllreduceInt64(moved)
+	return res
+}
+
+// totalTime sums all recorded buckets.
+func (s *transportSim) totalTime() float64 {
+	var t float64
+	for _, v := range s.times {
+		t += *v
+	}
+	return t
+}
+
+// amrTime sums the adaptivity buckets.
+func (s *transportSim) amrTime() float64 {
+	return s.totalTime() - *s.times["TimeIntegration"]
+}

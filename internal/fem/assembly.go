@@ -1,0 +1,158 @@
+package fem
+
+import (
+	"rhea/internal/la"
+	"rhea/internal/mesh"
+	"rhea/internal/morton"
+)
+
+// Domain maps the unit reference cube of the octree onto a physical
+// axis-aligned box (the paper's regional runs use 8 x 4 x 1).
+type Domain struct {
+	Box [3]float64
+}
+
+// UnitDomain is the unit cube.
+var UnitDomain = Domain{Box: [3]float64{1, 1, 1}}
+
+// Coord converts an integer node position to physical coordinates.
+func (d Domain) Coord(p [3]uint32) [3]float64 {
+	s := 1.0 / float64(morton.RootLen)
+	return [3]float64{
+		float64(p[0]) * s * d.Box[0],
+		float64(p[1]) * s * d.Box[1],
+		float64(p[2]) * s * d.Box[2],
+	}
+}
+
+// ElemSize returns the physical edge lengths of an element.
+func (d Domain) ElemSize(o morton.Octant) [3]float64 {
+	s := float64(o.Len()) / float64(morton.RootLen)
+	return [3]float64{s * d.Box[0], s * d.Box[1], s * d.Box[2]}
+}
+
+// ElemCenter returns the physical center of an element.
+func (d Domain) ElemCenter(o morton.Octant) [3]float64 {
+	h := d.ElemSize(o)
+	c := d.Coord([3]uint32{o.X, o.Y, o.Z})
+	for i := 0; i < 3; i++ {
+		c[i] += h[i] / 2
+	}
+	return c
+}
+
+// ScalarBC prescribes Dirichlet data: it returns (value, true) where the
+// scalar field is constrained, given the physical node position.
+type ScalarBC func(x [3]float64) (float64, bool)
+
+// NoBC imposes no Dirichlet constraints.
+func NoBC(x [3]float64) (float64, bool) { return 0, false }
+
+// BCData carries the Dirichlet flags and values of every node this rank
+// references, used during assembly and when post-processing solutions.
+type BCData struct {
+	Flag map[int64]float64 // gid -> 1 if constrained
+	Val  map[int64]float64 // gid -> boundary value
+}
+
+// IsSet reports whether gid is constrained.
+func (b *BCData) IsSet(g int64) bool { return b.Flag[g] != 0 }
+
+// gatherBC evaluates bc at every owned node and distributes flags and
+// values to all referencing ranks (collective).
+func gatherBC(m *mesh.Mesh, dom Domain, bc ScalarBC) *BCData {
+	l := m.Layout()
+	flag := la.NewVec(l)
+	val := la.NewVec(l)
+	for i, pos := range m.OwnedPos {
+		if v, is := bc(dom.Coord(pos)); is {
+			flag.Data[i] = 1
+			val.Data[i] = v
+		}
+	}
+	return &BCData{Flag: m.GatherReferenced(flag), Val: m.GatherReferenced(val)}
+}
+
+// AssembleScalar assembles the global operator and right-hand side for a
+// scalar problem from per-element matrices, applying hanging-node
+// constraints at the element level and eliminating Dirichlet rows/columns
+// symmetrically (collective).
+//
+// elemMat and elemSrc are called once per local element with its index
+// and physical size. Either may be nil (zero contribution).
+func AssembleScalar(
+	m *mesh.Mesh, dom Domain,
+	elemMat func(ei int, h [3]float64) [8][8]float64,
+	elemSrc func(ei int, h [3]float64) [8]float64,
+	bc ScalarBC,
+) (*la.Mat, *la.Vec, *BCData) {
+	bcd := gatherBC(m, dom, bc)
+	l := m.Layout()
+	A := la.NewMat(l)
+	bb := la.NewVecBuilder(l)
+
+	for ei, leaf := range m.Leaves {
+		h := dom.ElemSize(leaf)
+		var K [8][8]float64
+		if elemMat != nil {
+			K = elemMat(ei, h)
+		}
+		var F [8]float64
+		if elemSrc != nil {
+			F = elemSrc(ei, h)
+		}
+		cs := &m.Corners[ei]
+		for a := 0; a < 8; a++ {
+			for ia := 0; ia < int(cs[a].N); ia++ {
+				ga, wa := cs[a].GID[ia], cs[a].W[ia]
+				if bcd.IsSet(ga) {
+					continue // identity row, set below
+				}
+				bb.Add(ga, wa*F[a])
+				if elemMat == nil {
+					continue
+				}
+				for b := 0; b < 8; b++ {
+					for ib := 0; ib < int(cs[b].N); ib++ {
+						gb, wb := cs[b].GID[ib], cs[b].W[ib]
+						v := wa * wb * K[a][b]
+						if bcd.IsSet(gb) {
+							bb.Add(ga, -v*bcd.Val[gb])
+						} else {
+							A.AddValue(ga, gb, v)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Identity rows for owned Dirichlet nodes.
+	for i := 0; i < m.NumOwned; i++ {
+		g := m.Offset + int64(i)
+		if bcd.IsSet(g) {
+			A.AddValue(g, g, 1)
+		}
+	}
+	A.Assemble()
+	b := bb.Finalize()
+	for i := 0; i < m.NumOwned; i++ {
+		g := m.Offset + int64(i)
+		if bcd.IsSet(g) {
+			b.Data[i] = bcd.Val[g]
+		}
+	}
+	return A, b, bcd
+}
+
+// ApplyConstrained evaluates a nodal field at every corner of every local
+// element (resolving hanging nodes), returning element-corner values.
+// vals must come from mesh.GatherReferenced on the same field.
+func ApplyConstrained(m *mesh.Mesh, vals map[int64]float64) [][8]float64 {
+	out := make([][8]float64, len(m.Leaves))
+	for ei := range m.Leaves {
+		for c := 0; c < 8; c++ {
+			out[ei][c] = m.CornerValue(vals, ei, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+// Package field implements INTERPOLATEFIELDS and TRANSFERFIELDS (paper
+// §IV.B): carrying finite-element data fields across mesh adaptation
+// (coarsening, refinement, 2:1 balance) and across repartitioning.
+//
+// During adaptation a field is represented as element-corner data (eight
+// values per leaf). ProjectData maps such data from an old leaf set to a
+// new one produced by any combination of local coarsening and refinement:
+// refined leaves receive trilinearly interpolated values, coarsened
+// leaves receive injected corner values. Transfer ships the per-element
+// data to the new owners after PartitionTree, following the same
+// destination routing. ToNodal/FromNodal convert between element-corner
+// data and global nodal vectors.
+package field
+
+import (
+	"fmt"
+
+	"rhea/internal/fem"
+	"rhea/internal/la"
+	"rhea/internal/mesh"
+	"rhea/internal/morton"
+	"rhea/internal/sim"
+)
+
+// ElemData holds one scalar value per corner of each local element.
+type ElemData [][8]float64
+
+// FromNodal samples a nodal field at every element corner, resolving
+// hanging-node interpolation (collective).
+func FromNodal(m *mesh.Mesh, T *la.Vec) ElemData {
+	vals := m.GatherReferenced(T)
+	out := make(ElemData, len(m.Leaves))
+	for ei := range m.Leaves {
+		for c := 0; c < 8; c++ {
+			out[ei][c] = m.CornerValue(vals, ei, c)
+		}
+	}
+	return out
+}
+
+// ToNodal builds a nodal vector on the (new) mesh from element-corner
+// data by weight-averaging the contributions of all elements sharing each
+// independent node (collective). Hanging corners do not contribute; their
+// values are implied by their masters.
+func ToNodal(m *mesh.Mesh, data ElemData) *la.Vec {
+	l := m.Layout()
+	sum := la.NewVecBuilder(l)
+	cnt := la.NewVecBuilder(l)
+	for ei := range m.Leaves {
+		for c := 0; c < 8; c++ {
+			co := &m.Corners[ei][c]
+			if co.Hanging {
+				continue
+			}
+			sum.Add(co.GID[0], data[ei][c])
+			cnt.Add(co.GID[0], 1)
+		}
+	}
+	s := sum.Finalize()
+	n := cnt.Finalize()
+	out := la.NewVec(l)
+	for i := range out.Data {
+		if n.Data[i] > 0 {
+			out.Data[i] = s.Data[i] / n.Data[i]
+		}
+	}
+	return out
+}
+
+// cornerRef returns the reference coordinates of corner c.
+func cornerRef(c int) [3]float64 {
+	return [3]float64{float64(c & 1), float64(c >> 1 & 1), float64(c >> 2 & 1)}
+}
+
+// ProjectData maps element-corner data from oldLeaves to newLeaves, two
+// sorted leaf sets covering the same region of the domain on this rank.
+// Each new leaf must be equal to, a descendant of, or an ancestor of old
+// leaves (any number of refinement levels). Purely local.
+func ProjectData(oldLeaves, newLeaves []morton.Octant, data ElemData) ElemData {
+	out := make(ElemData, len(newLeaves))
+	oi := 0
+	for ni, nl := range newLeaves {
+		// Advance past old leaves strictly before nl that cannot contain it.
+		for oi < len(oldLeaves) && !overlaps(oldLeaves[oi], nl) {
+			oi++
+		}
+		if oi >= len(oldLeaves) {
+			panic(fmt.Sprintf("field: new leaf %v has no overlapping old leaf", nl))
+		}
+		ol := oldLeaves[oi]
+		switch {
+		case ol == nl:
+			out[ni] = data[oi]
+			oi++
+		case ol.IsAncestorOf(nl):
+			// Refinement: interpolate within the old leaf. Do not advance
+			// oi; more descendants may follow.
+			scale := float64(nl.Len()) / float64(ol.Len())
+			off := [3]float64{
+				float64(nl.X-ol.X) / float64(ol.Len()),
+				float64(nl.Y-ol.Y) / float64(ol.Len()),
+				float64(nl.Z-ol.Z) / float64(ol.Len()),
+			}
+			src := data[oi]
+			for c := 0; c < 8; c++ {
+				r := cornerRef(c)
+				xi := [3]float64{off[0] + scale*r[0], off[1] + scale*r[1], off[2] + scale*r[2]}
+				out[ni][c] = fem.Interp(&src, xi)
+			}
+			// If nl is the last descendant touching ol's end, advance.
+			if lastCovered(ol, nl) {
+				oi++
+			}
+		case nl.IsAncestorOf(ol):
+			// Coarsening: inject corner values from the descendants whose
+			// corners coincide with nl's corners.
+			for ; oi < len(oldLeaves) && nl.ContainsOrEqual(oldLeaves[oi]); oi++ {
+				d := oldLeaves[oi]
+				for c := 0; c < 8; c++ {
+					if cornerMatches(d, c, nl) {
+						out[ni][c] = data[oi][c]
+					}
+				}
+			}
+		default:
+			panic(fmt.Sprintf("field: leaf sets misaligned: old %v vs new %v", ol, nl))
+		}
+	}
+	return out
+}
+
+// overlaps reports whether a and b overlap (one contains the other).
+func overlaps(a, b morton.Octant) bool {
+	return a.ContainsOrEqual(b) || b.ContainsOrEqual(a)
+}
+
+// lastCovered reports whether descendant d reaches the far corner of a.
+func lastCovered(a, d morton.Octant) bool {
+	return d.X+d.Len() == a.X+a.Len() &&
+		d.Y+d.Len() == a.Y+a.Len() &&
+		d.Z+d.Len() == a.Z+a.Len()
+}
+
+// cornerMatches reports whether corner c of descendant d coincides with
+// corner c of ancestor a (injection points).
+func cornerMatches(d morton.Octant, c int, a morton.Octant) bool {
+	dh, ah := d.Len(), a.Len()
+	dp := [3]uint32{d.X, d.Y, d.Z}
+	ap := [3]uint32{a.X, a.Y, a.Z}
+	for axis := 0; axis < 3; axis++ {
+		bit := uint32(c >> axis & 1)
+		if dp[axis]+bit*dh != ap[axis]+bit*ah {
+			return false
+		}
+	}
+	return true
+}
+
+// Transfer ships per-element data to the destination ranks returned by
+// PartitionTree, preserving curve order (collective).
+func Transfer(r *sim.Rank, dests []int, data ElemData) ElemData {
+	p := r.Size()
+	byRank := make([]ElemData, p)
+	for i, d := range dests {
+		byRank[d] = append(byRank[d], data[i])
+	}
+	out := make([]any, p)
+	nb := make([]int, p)
+	for j := range byRank {
+		out[j] = byRank[j]
+		nb[j] = 64 * len(byRank[j])
+	}
+	in := r.Alltoall(out, nb)
+	var merged ElemData
+	for i := 0; i < p; i++ {
+		merged = append(merged, in[i].(ElemData)...)
+	}
+	return merged
+}
+
+// MultiTransfer ships several fields using the same destination routing.
+func MultiTransfer(r *sim.Rank, dests []int, fields []ElemData) []ElemData {
+	out := make([]ElemData, len(fields))
+	for i, f := range fields {
+		out[i] = Transfer(r, dests, f)
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package field
+
+import (
+	"math"
+	"testing"
+
+	"rhea/internal/fem"
+	"rhea/internal/la"
+	"rhea/internal/mesh"
+	"rhea/internal/morton"
+	"rhea/internal/octree"
+	"rhea/internal/sim"
+)
+
+// linear fills element data with a linear function of position, which
+// every projection step must preserve exactly.
+func linearData(leaves []morton.Octant) ElemData {
+	out := make(ElemData, len(leaves))
+	for ei, o := range leaves {
+		h := o.Len()
+		for c := 0; c < 8; c++ {
+			p := [3]float64{float64(o.X), float64(o.Y), float64(o.Z)}
+			if c&1 != 0 {
+				p[0] += float64(h)
+			}
+			if c&2 != 0 {
+				p[1] += float64(h)
+			}
+			if c&4 != 0 {
+				p[2] += float64(h)
+			}
+			out[ei][c] = lin(p)
+		}
+	}
+	return out
+}
+
+func lin(p [3]float64) float64 { return 1 + 2*p[0] - 0.5*p[1] + 0.25*p[2] }
+
+func checkLinear(t *testing.T, leaves []morton.Octant, data ElemData, tag string) {
+	t.Helper()
+	for ei, o := range leaves {
+		h := o.Len()
+		for c := 0; c < 8; c++ {
+			p := [3]float64{float64(o.X), float64(o.Y), float64(o.Z)}
+			if c&1 != 0 {
+				p[0] += float64(h)
+			}
+			if c&2 != 0 {
+				p[1] += float64(h)
+			}
+			if c&4 != 0 {
+				p[2] += float64(h)
+			}
+			want := lin(p)
+			if math.Abs(data[ei][c]-want) > 1e-6*math.Abs(want) {
+				t.Fatalf("%s: elem %d corner %d: %v want %v", tag, ei, c, data[ei][c], want)
+			}
+		}
+	}
+}
+
+func TestProjectRefine(t *testing.T) {
+	sim.Run(1, func(r *sim.Rank) {
+		tr := octree.New(r, 1)
+		old := append([]morton.Octant(nil), tr.Leaves()...)
+		data := linearData(old)
+		tr.Refine(func(o morton.Octant) bool { return o.X == 0 })
+		nd := ProjectData(old, tr.Leaves(), data)
+		checkLinear(t, tr.Leaves(), nd, "refine")
+	})
+}
+
+func TestProjectCoarsen(t *testing.T) {
+	sim.Run(1, func(r *sim.Rank) {
+		tr := octree.New(r, 2)
+		old := append([]morton.Octant(nil), tr.Leaves()...)
+		data := linearData(old)
+		tr.Coarsen(func(morton.Octant, []morton.Octant) bool { return true })
+		nd := ProjectData(old, tr.Leaves(), data)
+		checkLinear(t, tr.Leaves(), nd, "coarsen")
+	})
+}
+
+func TestProjectMixedWithBalance(t *testing.T) {
+	sim.Run(1, func(r *sim.Rank) {
+		tr := octree.New(r, 2)
+		old := append([]morton.Octant(nil), tr.Leaves()...)
+		data := linearData(old)
+		// Coarsen one region, refine another deeply, then balance.
+		marks := make([]bool, tr.NumLocal())
+		for i, o := range tr.Leaves() {
+			marks[i] = o.X >= morton.RootLen/2
+		}
+		tr.CoarsenMarked(marks)
+		for pass := 0; pass < 2; pass++ {
+			tr.Refine(func(o morton.Octant) bool { return o.X == 0 && o.Y == 0 && o.Z == 0 })
+		}
+		tr.Balance()
+		nd := ProjectData(old, tr.Leaves(), data)
+		checkLinear(t, tr.Leaves(), nd, "mixed")
+	})
+}
+
+func TestTransferFollowsPartition(t *testing.T) {
+	sim.Run(4, func(r *sim.Rank) {
+		tr := octree.New(r, 2)
+		tr.Refine(func(o morton.Octant) bool { return o.X == 0 })
+		data := linearData(tr.Leaves())
+		dests := tr.Partition()
+		nd := Transfer(r, dests, data)
+		if len(nd) != tr.NumLocal() {
+			t.Errorf("transferred %d records for %d leaves", len(nd), tr.NumLocal())
+			return
+		}
+		checkLinear(t, tr.Leaves(), nd, "transfer")
+	})
+}
+
+func TestNodalRoundTrip(t *testing.T) {
+	sim.Run(3, func(r *sim.Rank) {
+		tr := octree.New(r, 2)
+		tr.Refine(func(o morton.Octant) bool { return o.Z == 0 && o.X == 0 })
+		tr.Balance()
+		tr.Partition()
+		m := mesh.Extract(tr)
+		dom := fem.UnitDomain
+		T := la.NewVec(m.Layout())
+		for i, pos := range m.OwnedPos {
+			x := dom.Coord(pos)
+			T.Data[i] = lin([3]float64{x[0] * float64(morton.RootLen), x[1] * float64(morton.RootLen), x[2] * float64(morton.RootLen)})
+		}
+		data := FromNodal(m, T)
+		back := ToNodal(m, data)
+		diff := back.Clone()
+		diff.AXPY(-1, T)
+		if n := diff.NormInf(); n > 1e-6*T.NormInf() {
+			t.Errorf("nodal round trip error %v", n)
+		}
+	})
+}
+
+// Full adaptation pipeline: nodal -> element -> adapt -> balance ->
+// partition -> nodal on the new mesh, preserving a linear field exactly.
+func TestFullPipelinePreservesLinear(t *testing.T) {
+	sim.Run(4, func(r *sim.Rank) {
+		tr := octree.New(r, 2)
+		m := mesh.Extract(tr)
+		T := la.NewVec(m.Layout())
+		for i, pos := range m.OwnedPos {
+			T.Data[i] = lin([3]float64{float64(pos[0]), float64(pos[1]), float64(pos[2])})
+		}
+		data := FromNodal(m, T)
+		old := append([]morton.Octant(nil), tr.Leaves()...)
+
+		// Adapt: refine a moving-front region, coarsen the rest.
+		ref := make([]bool, tr.NumLocal())
+		co := make([]bool, tr.NumLocal())
+		for i, o := range tr.Leaves() {
+			if o.X < morton.RootLen/4 {
+				ref[i] = true
+			} else if o.X >= morton.RootLen/2 {
+				co[i] = true
+			}
+		}
+		tr.CoarsenMarked(co)
+		// Marks were built for the pre-coarsen leaf layout; rebuild for refine.
+		ref2 := make([]bool, tr.NumLocal())
+		for i, o := range tr.Leaves() {
+			ref2[i] = o.X < morton.RootLen/4
+		}
+		tr.RefineMarked(ref2)
+		tr.Balance()
+		data = ProjectData(old, tr.Leaves(), data)
+		dests := tr.Partition()
+		data = Transfer(r, dests, data)
+		m2 := mesh.Extract(tr)
+		T2 := ToNodal(m2, data)
+		for i, pos := range m2.OwnedPos {
+			want := lin([3]float64{float64(pos[0]), float64(pos[1]), float64(pos[2])})
+			if math.Abs(T2.Data[i]-want) > 1e-6*math.Abs(want) {
+				t.Errorf("pipeline: node %v = %v want %v", pos, T2.Data[i], want)
+				return
+			}
+		}
+	})
+}
+
+func TestMultiTransfer(t *testing.T) {
+	sim.Run(2, func(r *sim.Rank) {
+		tr := octree.New(r, 1)
+		tr.Refine(func(o morton.Octant) bool { return o.X == 0 })
+		d1 := linearData(tr.Leaves())
+		d2 := make(ElemData, len(d1))
+		for i := range d2 {
+			for c := 0; c < 8; c++ {
+				d2[i][c] = 2 * d1[i][c]
+			}
+		}
+		dests := tr.Partition()
+		out := MultiTransfer(r, dests, []ElemData{d1, d2})
+		checkLinear(t, tr.Leaves(), out[0], "multi0")
+		for i := range out[1] {
+			for c := 0; c < 8; c++ {
+				if math.Abs(out[1][i][c]-2*out[0][i][c]) > 1e-9 {
+					t.Fatalf("second field mismatch")
+				}
+			}
+		}
+	})
+}

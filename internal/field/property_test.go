@@ -1,0 +1,77 @@
+package field
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rhea/internal/morton"
+	"rhea/internal/octree"
+	"rhea/internal/sim"
+)
+
+// Property: any random sequence of coarsen/refine/balance operations,
+// followed by ProjectData and a repartition Transfer, reproduces a linear
+// field exactly at every element corner (trilinear transfer operators are
+// exact on linears).
+func TestPropertyPipelineExactOnLinear(t *testing.T) {
+	f := func(seed int64) bool {
+		ok := true
+		sim.Run(3, func(r *sim.Rank) {
+			rng := rand.New(rand.NewSource(seed)) // same on all ranks
+			tr := octree.New(r, 2)
+			data := linearData(tr.Leaves())
+			for step := 0; step < 3; step++ {
+				old := append([]morton.Octant(nil), tr.Leaves()...)
+				cut := uint32(rng.Intn(morton.RootLen))
+				axis := rng.Intn(3)
+				sel := func(o morton.Octant) bool {
+					return [3]uint32{o.X, o.Y, o.Z}[axis] < cut
+				}
+				if rng.Intn(2) == 0 {
+					tr.Refine(func(o morton.Octant) bool { return o.Level < 5 && sel(o) })
+				} else {
+					tr.Coarsen(func(p morton.Octant, _ []morton.Octant) bool {
+						return p.Level >= 1 && sel(p)
+					})
+				}
+				tr.Balance()
+				data = ProjectData(old, tr.Leaves(), data)
+				dests := tr.Partition()
+				data = Transfer(r, dests, data)
+			}
+			for ei, o := range tr.Leaves() {
+				h := o.Len()
+				for c := 0; c < 8; c++ {
+					p := [3]float64{float64(o.X), float64(o.Y), float64(o.Z)}
+					if c&1 != 0 {
+						p[0] += float64(h)
+					}
+					if c&2 != 0 {
+						p[1] += float64(h)
+					}
+					if c&4 != 0 {
+						p[2] += float64(h)
+					}
+					want := lin(p)
+					diff := data[ei][c] - want
+					if diff < 0 {
+						diff = -diff
+					}
+					tol := 1e-6 * (1 + want)
+					if want < 0 {
+						tol = 1e-6 * (1 - want)
+					}
+					if diff > tol {
+						ok = false
+						return
+					}
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,444 @@
+package forest
+
+import (
+	"fmt"
+	"sort"
+
+	"rhea/internal/morton"
+	"rhea/internal/sim"
+)
+
+// Octant identifies a leaf in the forest: a tree id plus an octant within
+// that tree.
+type Octant struct {
+	Tree int32
+	O    morton.Octant
+}
+
+// Less orders forest octants tree-major, then along each tree's Morton
+// curve (the forest-wide space-filling curve).
+func Less(a, b Octant) bool {
+	if a.Tree != b.Tree {
+		return a.Tree < b.Tree
+	}
+	return morton.Less(a.O, b.O)
+}
+
+// curveEnd is one past the last within-tree curve position.
+const curveEnd = uint64(1) << (3 * morton.MaxLevel)
+
+// gpos returns the forest-wide curve position of the octant's first
+// finest-level descendant.
+func gpos(o Octant) uint64 {
+	return uint64(o.Tree)*curveEnd + o.O.Key()>>5
+}
+
+// gspan returns the curve positions covered by the octant.
+func gspan(o Octant) uint64 {
+	return 1 << (3 * (morton.MaxLevel - uint64(o.O.Level)))
+}
+
+// Forest is one rank's partition of a distributed forest of octrees.
+type Forest struct {
+	Conn   *Connectivity
+	rank   *sim.Rank
+	leaves []Octant
+	starts []uint64 // per-rank first curve position; len Size+1
+}
+
+const octantBytes = 20
+
+// New builds a forest uniformly refined to the given level, leaves
+// distributed evenly along the forest curve (collective).
+func New(r *sim.Rank, conn *Connectivity, level uint8) *Forest {
+	f := &Forest{Conn: conn, rank: r}
+	perTree := int64(1) << (3 * int64(level))
+	total := perTree * int64(conn.NumTrees())
+	lo, hi := shareRange(total, int64(r.Size()), int64(r.ID()))
+	for g := lo; g < hi; g++ {
+		tree := int32(g / perTree)
+		idx := uint64(g % perTree)
+		key := idx << (3 * (morton.MaxLevel - uint64(level)))
+		f.leaves = append(f.leaves, Octant{Tree: tree, O: morton.FromKey(key<<5 | uint64(level))})
+	}
+	f.updateStarts()
+	return f
+}
+
+func shareRange(total, p, i int64) (lo, hi int64) {
+	q, rem := total/p, total%p
+	lo = q*i + minI64(i, rem)
+	hi = lo + q
+	if i < rem {
+		hi++
+	}
+	return
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Rank returns the communicator rank.
+func (f *Forest) Rank() *sim.Rank { return f.rank }
+
+// Leaves returns the local leaves in forest-curve order.
+func (f *Forest) Leaves() []Octant { return f.leaves }
+
+// NumLocal returns the local leaf count.
+func (f *Forest) NumLocal() int { return len(f.leaves) }
+
+// NumGlobal returns the global leaf count (collective).
+func (f *Forest) NumGlobal() int64 { return f.rank.AllreduceInt64(int64(len(f.leaves))) }
+
+func (f *Forest) updateStarts() {
+	sentinel := uint64(f.Conn.NumTrees()) * curveEnd
+	my := sentinel
+	if len(f.leaves) > 0 {
+		my = gpos(f.leaves[0])
+	}
+	raw := f.rank.AllgatherUint64(my)
+	p := f.rank.Size()
+	starts := make([]uint64, p+1)
+	starts[p] = sentinel
+	for i := p - 1; i >= 0; i-- {
+		if raw[i] == sentinel {
+			starts[i] = starts[i+1]
+		} else {
+			starts[i] = raw[i]
+		}
+	}
+	starts[0] = 0
+	f.starts = starts
+}
+
+// Owners appends the ranks whose curve segment overlaps octant o.
+func (f *Forest) Owners(o Octant, dst []int) []int {
+	lo := gpos(o)
+	hi := lo + gspan(o)
+	i := sort.Search(len(f.starts), func(i int) bool { return f.starts[i] > lo }) - 1
+	if i < 0 {
+		i = 0
+	}
+	for ; i < f.rank.Size(); i++ {
+		if f.starts[i] >= hi {
+			break
+		}
+		if f.starts[i+1] > lo {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// FaceNeighbor returns the same-level neighbor across face fc, following
+// an inter-tree connection when the neighbor leaves the tree. The second
+// return is false at a physical boundary.
+func (f *Forest) FaceNeighbor(o Octant, face int) (Octant, bool) {
+	if n, ok := o.O.FaceNeighbor(face); ok {
+		return Octant{Tree: o.Tree, O: n}, true
+	}
+	fc := &f.Conn.conns[o.Tree][face]
+	if !fc.ok {
+		return Octant{}, false
+	}
+	// Compute the out-of-tree anchor and map both cube corners through
+	// the transform; the destination anchor is the componentwise min.
+	l := int64(o.O.Len())
+	src := [3]int64{int64(o.O.X), int64(o.O.Y), int64(o.O.Z)}
+	ax := faceNormalAxis[face]
+	src[ax] += int64(faceNormalSign[face]) * l
+	far := src
+	for i := 0; i < 3; i++ {
+		far[i] += l
+	}
+	a := fc.apply(src)
+	b := fc.apply(far)
+	var q [3]uint32
+	for i := 0; i < 3; i++ {
+		lo := a[i]
+		if b[i] < lo {
+			lo = b[i]
+		}
+		if lo < 0 || lo >= morton.RootLen {
+			panic(fmt.Sprintf("forest: transform produced out-of-tree anchor %v", lo))
+		}
+		q[i] = uint32(lo)
+	}
+	return Octant{Tree: fc.tree, O: morton.Octant{X: q[0], Y: q[1], Z: q[2], Level: o.O.Level}}, true
+}
+
+// Refine replaces marked leaves by their children (local).
+func (f *Forest) Refine(should func(Octant) bool) int {
+	out := make([]Octant, 0, len(f.leaves))
+	n := 0
+	for _, o := range f.leaves {
+		if o.O.Level < morton.MaxLevel && should(o) {
+			for i := 0; i < 8; i++ {
+				out = append(out, Octant{Tree: o.Tree, O: o.O.Child(i)})
+			}
+			n++
+		} else {
+			out = append(out, o)
+		}
+	}
+	f.leaves = out
+	f.updateStarts()
+	return n
+}
+
+// Coarsen merges complete local families whose predicate holds (local).
+func (f *Forest) Coarsen(should func(parent Octant) bool) int {
+	out := make([]Octant, 0, len(f.leaves))
+	n := 0
+	for i := 0; i < len(f.leaves); {
+		o := f.leaves[i]
+		if o.O.Level > 0 && o.O.ChildID() == 0 && i+8 <= len(f.leaves) {
+			parent := Octant{Tree: o.Tree, O: o.O.Parent()}
+			fam := true
+			for j := 0; j < 8; j++ {
+				if f.leaves[i+j].Tree != o.Tree || f.leaves[i+j].O != parent.O.Child(j) {
+					fam = false
+					break
+				}
+			}
+			if fam && should(parent) {
+				out = append(out, parent)
+				i += 8
+				n++
+				continue
+			}
+		}
+		out = append(out, o)
+		i++
+	}
+	f.leaves = out
+	f.updateStarts()
+	return n
+}
+
+// Balance enforces the 2:1 condition: the full face+edge+corner condition
+// within each tree and the face condition across tree boundaries
+// (collective). It returns the number of leaves added.
+func (f *Forest) Balance() int {
+	set := make(map[Octant]struct{}, len(f.leaves))
+	for _, o := range f.leaves {
+		set[o] = struct{}{}
+	}
+	before := len(f.leaves)
+	pending := append([]Octant(nil), f.leaves...)
+	var nbuf []morton.Octant
+
+	for {
+		var remote []Octant
+		for len(pending) > 0 {
+			o := pending[len(pending)-1]
+			pending = pending[:len(pending)-1]
+			if _, live := set[o]; !live {
+				continue
+			}
+			if o.O.Level <= 1 {
+				continue
+			}
+			// Within-tree: full 26-neighbor requirements.
+			nbuf = o.O.AllNeighbors(nbuf[:0])
+			for _, n := range nbuf {
+				fn := Octant{Tree: o.Tree, O: n}
+				pending = f.enforce(set, fn, o.O.Level, pending)
+				if !f.fullyLocal(fn) {
+					remote = append(remote, fn)
+				}
+			}
+			// Across-tree: face neighbors that leave the tree.
+			for face := 0; face < 6; face++ {
+				if _, inside := o.O.FaceNeighbor(face); inside {
+					continue
+				}
+				fn, ok := f.FaceNeighbor(o, face)
+				if !ok {
+					continue
+				}
+				pending = f.enforce(set, fn, o.O.Level, pending)
+				if !f.fullyLocal(fn) {
+					remote = append(remote, fn)
+				}
+			}
+		}
+		incoming := f.exchange(remote)
+		changed := int64(0)
+		for _, n := range incoming {
+			if n.O.Level <= 1 {
+				continue
+			}
+			before := len(pending)
+			pending = f.enforce(set, n, n.O.Level, pending)
+			if len(pending) != before {
+				changed = 1
+			}
+		}
+		if f.rank.AllreduceInt64(changed) == 0 {
+			break
+		}
+	}
+
+	f.leaves = f.leaves[:0]
+	for o := range set {
+		f.leaves = append(f.leaves, o)
+	}
+	sort.Slice(f.leaves, func(i, j int) bool { return Less(f.leaves[i], f.leaves[j]) })
+	f.updateStarts()
+	return len(f.leaves) - before
+}
+
+// enforce splits any local strict ancestor of n at level < reqLevel-1.
+func (f *Forest) enforce(set map[Octant]struct{}, n Octant, reqLevel uint8, pending []Octant) []Octant {
+	if reqLevel < 2 {
+		return pending
+	}
+	for {
+		found := false
+		for l := int(reqLevel) - 2; l >= 0; l-- {
+			a := Octant{Tree: n.Tree, O: n.O.Ancestor(uint8(l))}
+			if _, ok := set[a]; ok {
+				delete(set, a)
+				for i := 0; i < 8; i++ {
+					ch := Octant{Tree: a.Tree, O: a.O.Child(i)}
+					set[ch] = struct{}{}
+					pending = append(pending, ch)
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return pending
+		}
+	}
+}
+
+func (f *Forest) fullyLocal(o Octant) bool {
+	lo := gpos(o)
+	hi := lo + gspan(o)
+	me := f.rank.ID()
+	return f.starts[me] <= lo && hi <= f.starts[me+1]
+}
+
+func (f *Forest) exchange(reqs []Octant) []Octant {
+	p := f.rank.Size()
+	byRank := make([][]Octant, p)
+	var owners []int
+	for _, n := range reqs {
+		owners = f.Owners(n, owners[:0])
+		for _, rk := range owners {
+			if rk != f.rank.ID() {
+				byRank[rk] = append(byRank[rk], n)
+			}
+		}
+	}
+	out := make([]any, p)
+	nb := make([]int, p)
+	for j := range byRank {
+		out[j] = byRank[j]
+		nb[j] = octantBytes * len(byRank[j])
+	}
+	in := f.rank.Alltoall(out, nb)
+	var got []Octant
+	for i, d := range in {
+		if i == f.rank.ID() {
+			continue
+		}
+		got = append(got, d.([]Octant)...)
+	}
+	return got
+}
+
+// Partition redistributes leaves evenly along the forest curve
+// (collective). It returns each previously local leaf's destination rank.
+func (f *Forest) Partition() []int {
+	p := int64(f.rank.Size())
+	local := int64(len(f.leaves))
+	total := f.rank.AllreduceInt64(local)
+	first := f.rank.ExScan(local)
+	dest := make([]int, local)
+	byRank := make([][]Octant, p)
+	for i := int64(0); i < local; i++ {
+		g := first + i
+		d := destRank(g, total, p)
+		dest[i] = int(d)
+		byRank[d] = append(byRank[d], f.leaves[i])
+	}
+	out := make([]any, p)
+	nb := make([]int, p)
+	for j := range byRank {
+		out[j] = byRank[j]
+		nb[j] = octantBytes * len(byRank[j])
+	}
+	in := f.rank.Alltoall(out, nb)
+	f.leaves = f.leaves[:0]
+	for i := int64(0); i < p; i++ {
+		f.leaves = append(f.leaves, in[i].([]Octant)...)
+	}
+	f.updateStarts()
+	return dest
+}
+
+func destRank(g, total, p int64) int64 {
+	if total == 0 {
+		return 0
+	}
+	q, rem := total/p, total%p
+	cut := (q + 1) * rem
+	if g < cut {
+		return g / (q + 1)
+	}
+	if q == 0 {
+		return p - 1
+	}
+	return rem + (g-cut)/q
+}
+
+// FindContaining returns the local leaf equal to or an ancestor of o.
+func (f *Forest) FindContaining(o Octant) (Octant, int, bool) {
+	i := sort.Search(len(f.leaves), func(i int) bool {
+		li := f.leaves[i]
+		if li.Tree != o.Tree {
+			return li.Tree > o.Tree
+		}
+		return li.O.Key() > o.O.Key()
+	})
+	if i == 0 {
+		return Octant{}, -1, false
+	}
+	l := f.leaves[i-1]
+	if l.Tree == o.Tree && l.O.ContainsOrEqual(o.O) {
+		return l, i - 1, true
+	}
+	return Octant{}, -1, false
+}
+
+// LevelCounts returns the global leaf count per level (collective).
+func (f *Forest) LevelCounts() []int64 {
+	counts := make([]float64, morton.MaxLevel+1)
+	for _, o := range f.leaves {
+		counts[o.O.Level]++
+	}
+	tot := f.rank.AllreduceVec(counts)
+	out := make([]int64, len(tot))
+	for i, v := range tot {
+		out[i] = int64(v)
+	}
+	return out
+}
+
+// CheckLocalOrder verifies the local sort invariant.
+func (f *Forest) CheckLocalOrder() error {
+	for i := 1; i < len(f.leaves); i++ {
+		if !Less(f.leaves[i-1], f.leaves[i]) {
+			return fmt.Errorf("forest: leaves out of order at %d", i)
+		}
+	}
+	return nil
+}

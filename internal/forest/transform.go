@@ -1,0 +1,35 @@
+package forest
+
+// FaceTransform is an exported, read-only handle on an inter-tree face
+// connection, used by discretization layers (e.g. DG flux evaluation) to
+// map coordinates across tree boundaries.
+type FaceTransform struct {
+	fc *faceConn
+}
+
+// ConnAt returns the transform across the given face of the given tree.
+// Check Valid before use: boundary faces have no connection.
+func (c *Connectivity) ConnAt(tree int32, face int) FaceTransform {
+	return FaceTransform{fc: &c.conns[tree][face]}
+}
+
+// Valid reports whether the face is connected to another tree.
+func (t FaceTransform) Valid() bool { return t.fc.ok }
+
+// NeighborTree returns the tree on the other side.
+func (t FaceTransform) NeighborTree() int32 { return t.fc.tree }
+
+// NeighborFace returns the face index of the neighboring tree that meets
+// this one.
+func (t FaceTransform) NeighborFace() int { return int(t.fc.face) }
+
+// ApplyF maps a point given in this tree's reference coordinates (octant
+// units, possibly just outside the tree across the connected face) into
+// the neighbor tree's frame.
+func (t FaceTransform) ApplyF(p [3]float64) [3]float64 {
+	var q [3]float64
+	for i := 0; i < 3; i++ {
+		q[i] = float64(t.fc.sign[i])*p[t.fc.perm[i]] + float64(t.fc.off[i])
+	}
+	return q
+}

@@ -1,0 +1,199 @@
+// Package krylov provides the iterative solvers of the paper's solution
+// stack: preconditioned MINRES (Paige–Saunders) for the symmetric
+// indefinite stabilized Stokes system, and preconditioned CG for the
+// symmetric positive definite subproblems. Both operate on distributed
+// la.Vec vectors; all reductions are collective.
+package krylov
+
+import (
+	"math"
+
+	"rhea/internal/la"
+)
+
+// Operator applies a linear operator: y = A x.
+type Operator interface {
+	Apply(x, y *la.Vec)
+}
+
+// OpFunc adapts a function to the Operator interface.
+type OpFunc func(x, y *la.Vec)
+
+// Apply implements Operator.
+func (f OpFunc) Apply(x, y *la.Vec) { f(x, y) }
+
+// Identity is the trivial preconditioner.
+var Identity Operator = OpFunc(func(x, y *la.Vec) { y.Copy(x) })
+
+// Result reports the outcome of an iterative solve.
+type Result struct {
+	Iterations int
+	Converged  bool
+	Residual   float64   // final (preconditioned for MINRES) residual norm
+	History    []float64 // residual norm at each iteration
+}
+
+// CG solves A x = b for SPD A with SPD preconditioner M (approximating
+// A^-1), starting from the initial guess in x. It stops when the
+// preconditioned residual norm falls below rtol times its initial value,
+// or after maxIt iterations.
+func CG(A Operator, M Operator, b, x *la.Vec, rtol float64, maxIt int) Result {
+	r := la.NewVec(x.Layout)
+	z := la.NewVec(x.Layout)
+	p := la.NewVec(x.Layout)
+	Ap := la.NewVec(x.Layout)
+
+	A.Apply(x, r)
+	r.Scale(-1)
+	r.AXPY(1, b) // r = b - A x
+	M.Apply(r, z)
+	p.Copy(z)
+	rz := r.Dot(z)
+	norm0 := math.Sqrt(math.Abs(rz))
+	res := Result{History: []float64{norm0}}
+	if norm0 == 0 {
+		res.Converged = true
+		return res
+	}
+	for it := 1; it <= maxIt; it++ {
+		A.Apply(p, Ap)
+		pAp := p.Dot(Ap)
+		if pAp == 0 {
+			break
+		}
+		alpha := rz / pAp
+		x.AXPY(alpha, p)
+		r.AXPY(-alpha, Ap)
+		M.Apply(r, z)
+		rzNew := r.Dot(z)
+		norm := math.Sqrt(math.Abs(rzNew))
+		res.History = append(res.History, norm)
+		res.Iterations = it
+		res.Residual = norm
+		if norm <= rtol*norm0 {
+			res.Converged = true
+			return res
+		}
+		p.AYPX(rzNew/rz, z)
+		rz = rzNew
+	}
+	return res
+}
+
+// MINRES solves A x = b for symmetric (possibly indefinite) A with SPD
+// preconditioner M (approximating A^-1), starting from the initial guess
+// in x. Each iteration performs one A-apply, one M-apply, two inner
+// products and constant vector work, as in the paper (§III).
+func MINRES(A Operator, M Operator, b, x *la.Vec, rtol float64, maxIt int) Result {
+	n := x.Layout
+	r1 := la.NewVec(n)
+	r2 := la.NewVec(n)
+	y := la.NewVec(n)
+	w := la.NewVec(n)
+	w1 := la.NewVec(n)
+	w2 := la.NewVec(n)
+	v := la.NewVec(n)
+
+	// r1 = b - A x
+	A.Apply(x, r1)
+	r1.Scale(-1)
+	r1.AXPY(1, b)
+	M.Apply(r1, y)
+	beta1 := r1.Dot(y)
+	res := Result{}
+	if beta1 < 0 {
+		// Preconditioner is not SPD; report divergence.
+		res.Residual = math.NaN()
+		return res
+	}
+	beta1 = math.Sqrt(beta1)
+	res.History = []float64{beta1}
+	if beta1 == 0 {
+		res.Converged = true
+		return res
+	}
+
+	oldb, beta := 0.0, beta1
+	dbar, epsln := 0.0, 0.0
+	phibar := beta1
+	cs, sn := -1.0, 0.0
+	r2.Copy(r1)
+
+	for it := 1; it <= maxIt; it++ {
+		s := 1.0 / beta
+		v.Copy(y)
+		v.Scale(s)
+		A.Apply(v, y)
+		if it >= 2 {
+			y.AXPY(-beta/oldb, r1)
+		}
+		alfa := v.Dot(y)
+		y.AXPY(-alfa/beta, r2)
+		r1.Copy(r2)
+		r2.Copy(y)
+		M.Apply(r2, y)
+		oldb = beta
+		b2 := r2.Dot(y)
+		if b2 < 0 {
+			res.Residual = math.NaN()
+			return res
+		}
+		beta = math.Sqrt(b2)
+
+		// Apply previous rotation.
+		oldeps := epsln
+		delta := cs*dbar + sn*alfa
+		gbar := sn*dbar - cs*alfa
+		epsln = sn * beta
+		dbar = -cs * beta
+
+		// Compute the next rotation.
+		gamma := math.Sqrt(gbar*gbar + beta*beta)
+		if gamma == 0 {
+			gamma = 1e-300
+		}
+		cs = gbar / gamma
+		sn = beta / gamma
+		phi := cs * phibar
+		phibar = sn * phibar
+
+		// Update the solution.
+		denom := 1.0 / gamma
+		w1.Copy(w2)
+		w2.Copy(w)
+		w.Copy(v)
+		w.AXPY(-oldeps, w1)
+		w.AXPY(-delta, w2)
+		w.Scale(denom)
+		x.AXPY(phi, w)
+
+		res.Iterations = it
+		res.Residual = math.Abs(phibar)
+		res.History = append(res.History, res.Residual)
+		if res.Residual <= rtol*beta1 {
+			res.Converged = true
+			return res
+		}
+	}
+	return res
+}
+
+// Jacobi builds a diagonal (Jacobi) preconditioner from the matrix
+// diagonal; zero diagonal entries pass through unscaled.
+func Jacobi(A *la.Mat) Operator {
+	d := A.Diag()
+	inv := la.NewVec(d.Layout)
+	for i, v := range d.Data {
+		if v != 0 {
+			inv.Data[i] = 1 / v
+		} else {
+			inv.Data[i] = 1
+		}
+	}
+	return OpFunc(func(x, y *la.Vec) { y.PointwiseMult(inv, x) })
+}
+
+// DiagOp wraps an explicit inverse-diagonal vector as a preconditioner.
+func DiagOp(inv *la.Vec) Operator {
+	return OpFunc(func(x, y *la.Vec) { y.PointwiseMult(inv, x) })
+}

@@ -1,0 +1,190 @@
+package krylov
+
+import (
+	"math"
+	"testing"
+
+	"rhea/internal/la"
+	"rhea/internal/sim"
+)
+
+// laplace1D builds the N-point 1-D Dirichlet Laplacian tridiag(-1,2,-1),
+// which is SPD, distributed over the world.
+func laplace1D(r *sim.Rank, nLocal int) (*la.Mat, *la.Layout) {
+	l := la.NewLayout(r, nLocal)
+	m := la.NewMat(l)
+	n := l.N()
+	for g := l.Start(); g < l.Offsets[r.ID()+1]; g++ {
+		m.AddValue(g, g, 2)
+		if g > 0 {
+			m.AddValue(g, g-1, -1)
+		}
+		if g < n-1 {
+			m.AddValue(g, g+1, -1)
+		}
+	}
+	m.Assemble()
+	return m, l
+}
+
+func TestCGSolvesLaplace(t *testing.T) {
+	sim.Run(4, func(r *sim.Rank) {
+		A, l := laplace1D(r, 8)
+		// Manufactured solution x*=1..N, b = A x*.
+		xs := la.NewVec(l)
+		for i := range xs.Data {
+			xs.Data[i] = float64(l.Start() + int64(i) + 1)
+		}
+		b := la.NewVec(l)
+		A.Apply(xs, b)
+		x := la.NewVec(l)
+		res := CG(A, Identity, b, x, 1e-12, 1000)
+		if !res.Converged {
+			t.Fatalf("CG did not converge: %+v", res.Residual)
+		}
+		for i := range x.Data {
+			if math.Abs(x.Data[i]-xs.Data[i]) > 1e-8 {
+				t.Fatalf("x[%d]=%v want %v", i, x.Data[i], xs.Data[i])
+			}
+		}
+	})
+}
+
+func TestCGWithJacobiFewerIterations(t *testing.T) {
+	sim.Run(2, func(r *sim.Rank) {
+		// Badly scaled diagonal system: Jacobi fixes it in O(1) iters.
+		l := la.NewLayout(r, 16)
+		m := la.NewMat(l)
+		for g := l.Start(); g < l.Offsets[r.ID()+1]; g++ {
+			m.AddValue(g, g, math.Pow(10, float64(g%8)))
+		}
+		m.Assemble()
+		b := la.NewVec(l)
+		b.Set(1)
+		x0 := la.NewVec(l)
+		plain := CG(m, Identity, b, x0, 1e-10, 500)
+		x1 := la.NewVec(l)
+		prec := CG(m, Jacobi(m), b, x1, 1e-10, 500)
+		if !prec.Converged {
+			t.Fatal("preconditioned CG failed")
+		}
+		if prec.Iterations > 3 {
+			t.Errorf("Jacobi CG took %d iterations on a diagonal system", prec.Iterations)
+		}
+		if plain.Converged && plain.Iterations < prec.Iterations {
+			t.Errorf("preconditioning made things worse: %d vs %d", prec.Iterations, plain.Iterations)
+		}
+	})
+}
+
+func TestMINRESSolvesIndefinite(t *testing.T) {
+	sim.Run(3, func(r *sim.Rank) {
+		// Symmetric indefinite: saddle-ish diag blocks +2 and -1 with
+		// couplings; constructed as D + off where D alternates sign.
+		l := la.NewLayout(r, 6)
+		m := la.NewMat(l)
+		n := l.N()
+		for g := l.Start(); g < l.Offsets[r.ID()+1]; g++ {
+			d := 3.0
+			if g%2 == 1 {
+				d = -2.0
+			}
+			m.AddValue(g, g, d)
+			if g > 0 {
+				m.AddValue(g, g-1, 0.5)
+			}
+			if g < n-1 {
+				m.AddValue(g, g+1, 0.5)
+			}
+		}
+		m.Assemble()
+		xs := la.NewVec(l)
+		for i := range xs.Data {
+			xs.Data[i] = math.Sin(float64(l.Start() + int64(i)))
+		}
+		b := la.NewVec(l)
+		m.Apply(xs, b)
+		x := la.NewVec(l)
+		res := MINRES(m, Identity, b, x, 1e-12, 500)
+		if !res.Converged {
+			t.Fatalf("MINRES did not converge: residual %v", res.Residual)
+		}
+		for i := range x.Data {
+			if math.Abs(x.Data[i]-xs.Data[i]) > 1e-7 {
+				t.Fatalf("x[%d]=%v want %v", i, x.Data[i], xs.Data[i])
+			}
+		}
+	})
+}
+
+func TestMINRESMatchesCGOnSPD(t *testing.T) {
+	// On an SPD system both must reach the same solution.
+	sim.Run(2, func(r *sim.Rank) {
+		A, l := laplace1D(r, 10)
+		b := la.NewVec(l)
+		for i := range b.Data {
+			b.Data[i] = float64(i%3) - 1
+		}
+		x1 := la.NewVec(l)
+		x2 := la.NewVec(l)
+		r1 := CG(A, Identity, b, x1, 1e-12, 1000)
+		r2 := MINRES(A, Identity, b, x2, 1e-12, 1000)
+		if !r1.Converged || !r2.Converged {
+			t.Fatal("solver failure")
+		}
+		diff := x1.Clone()
+		diff.AXPY(-1, x2)
+		if diff.Norm2() > 1e-6 {
+			t.Errorf("CG and MINRES disagree by %v", diff.Norm2())
+		}
+	})
+}
+
+func TestMINRESPreconditioned(t *testing.T) {
+	sim.Run(2, func(r *sim.Rank) {
+		A, l := laplace1D(r, 12)
+		b := la.NewVec(l)
+		b.Set(1)
+		x := la.NewVec(l)
+		res := MINRES(A, Jacobi(A), b, x, 1e-10, 1000)
+		if !res.Converged {
+			t.Fatal("preconditioned MINRES failed")
+		}
+		// Verify residual truly small.
+		ax := la.NewVec(l)
+		A.Apply(x, ax)
+		ax.AXPY(-1, b)
+		if rel := ax.Norm2() / b.Norm2(); rel > 1e-8 {
+			t.Errorf("true residual %v", rel)
+		}
+	})
+}
+
+func TestZeroRHS(t *testing.T) {
+	sim.Run(1, func(r *sim.Rank) {
+		A, l := laplace1D(r, 5)
+		b := la.NewVec(l)
+		x := la.NewVec(l)
+		if res := CG(A, Identity, b, x, 1e-10, 10); !res.Converged || res.Iterations != 0 {
+			t.Errorf("CG on zero rhs: %+v", res)
+		}
+		if res := MINRES(A, Identity, b, x, 1e-10, 10); !res.Converged || res.Iterations != 0 {
+			t.Errorf("MINRES on zero rhs: %+v", res)
+		}
+	})
+}
+
+func TestInitialGuessRespected(t *testing.T) {
+	sim.Run(1, func(r *sim.Rank) {
+		A, l := laplace1D(r, 7)
+		xs := la.NewVec(l)
+		xs.Set(2)
+		b := la.NewVec(l)
+		A.Apply(xs, b)
+		x := xs.Clone() // exact initial guess
+		res := CG(A, Identity, b, x, 1e-10, 100)
+		if res.Iterations != 0 || !res.Converged {
+			t.Errorf("exact guess should converge immediately: %+v", res)
+		}
+	})
+}

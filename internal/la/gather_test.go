@@ -1,0 +1,89 @@
+package la
+
+import (
+	"math"
+	"testing"
+
+	"rhea/internal/sim"
+)
+
+func TestGatherGlobalCSRMatchesDistributedApply(t *testing.T) {
+	sim.Run(3, func(r *sim.Rank) {
+		m, l := buildLaplace1D(r, 4)
+		g := m.GatherGlobalCSR()
+		if g.N != int(l.N()) {
+			t.Fatalf("gathered N=%d want %d", g.N, l.N())
+		}
+		// Apply both to the same global vector and compare the local part.
+		full := make([]float64, g.N)
+		for i := range full {
+			full[i] = math.Sin(float64(i))
+		}
+		want := make([]float64, g.N)
+		g.Apply(full, want)
+
+		x := NewVec(l)
+		for i := range x.Data {
+			x.Data[i] = full[l.Start()+int64(i)]
+		}
+		y := NewVec(l)
+		m.Apply(x, y)
+		for i, v := range y.Data {
+			if math.Abs(v-want[l.Start()+int64(i)]) > 1e-12 {
+				t.Fatalf("row %d: distributed %v vs gathered %v", int(l.Start())+i, v, want[l.Start()+int64(i)])
+			}
+		}
+	})
+}
+
+func TestGatherGlobalVector(t *testing.T) {
+	sim.Run(4, func(r *sim.Rank) {
+		l := NewLayout(r, 3)
+		v := NewVec(l)
+		for i := range v.Data {
+			v.Data[i] = float64(l.Start() + int64(i))
+		}
+		full := GatherGlobal(v)
+		if len(full) != int(l.N()) {
+			t.Fatalf("len=%d", len(full))
+		}
+		for i, g := range full {
+			if g != float64(i) {
+				t.Fatalf("full[%d]=%v", i, g)
+			}
+		}
+		// The returned slice must be a snapshot: mutating local data after
+		// the gather must not corrupt messages of a following gather
+		// (regression test for the send-aliasing bug).
+		v.Data[0] = -1
+		full2 := GatherGlobal(v)
+		if full2[int(l.Start())] != -1 {
+			t.Fatal("second gather did not observe the update")
+		}
+	})
+}
+
+// Regression: reusing the input buffer between consecutive gathers must
+// not let late readers observe the overwritten contents.
+func TestGatherGlobalNoAliasing(t *testing.T) {
+	sim.Run(4, func(r *sim.Rank) {
+		l := NewLayout(r, 2)
+		v := NewVec(l)
+		for round := 0; round < 20; round++ {
+			for i := range v.Data {
+				v.Data[i] = float64(1000*round) + float64(l.Start()+int64(i))
+			}
+			full := GatherGlobal(v)
+			for i, g := range full {
+				want := float64(1000*round) + float64(i)
+				if g != want {
+					t.Fatalf("round %d: full[%d]=%v want %v (aliasing)", round, i, g, want)
+				}
+			}
+			// Immediately overwrite, as the Stokes preconditioner does.
+			for i := range v.Data {
+				v.Data[i] = -999
+			}
+		}
+	})
+}

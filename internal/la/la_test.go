@@ -1,0 +1,248 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rhea/internal/sim"
+)
+
+func TestLayout(t *testing.T) {
+	sim.Run(4, func(r *sim.Rank) {
+		l := NewLayout(r, r.ID()+1) // sizes 1,2,3,4 -> N=10
+		if l.N() != 10 {
+			t.Errorf("N=%d", l.N())
+		}
+		if l.Local() != r.ID()+1 {
+			t.Errorf("local=%d", l.Local())
+		}
+		wantStart := int64(r.ID() * (r.ID() + 1) / 2)
+		if l.Start() != wantStart {
+			t.Errorf("start=%d want %d", l.Start(), wantStart)
+		}
+		for g := int64(0); g < 10; g++ {
+			o := l.OwnerOf(g)
+			if (o == r.ID()) != l.Owns(g) {
+				t.Errorf("owner/owns mismatch at %d", g)
+			}
+		}
+		if l.OwnerOf(0) != 0 || l.OwnerOf(9) != 3 {
+			t.Errorf("owner endpoints wrong")
+		}
+	})
+}
+
+func TestVecOps(t *testing.T) {
+	sim.Run(3, func(r *sim.Rank) {
+		l := NewLayout(r, 2)
+		v := NewVec(l)
+		w := NewVec(l)
+		v.Set(2)
+		w.Set(3)
+		if got := v.Dot(w); got != 36 { // 6 entries * 6
+			t.Errorf("dot=%v", got)
+		}
+		if got := v.Norm2(); math.Abs(got-math.Sqrt(24)) > 1e-14 {
+			t.Errorf("norm=%v", got)
+		}
+		v.AXPY(2, w) // v = 2 + 6 = 8
+		if v.Data[0] != 8 {
+			t.Errorf("axpy: %v", v.Data[0])
+		}
+		v.AYPX(0.5, w) // v = 4 + 3 = 7
+		if v.Data[0] != 7 {
+			t.Errorf("aypx: %v", v.Data[0])
+		}
+		v.Scale(2)
+		if v.Data[1] != 14 {
+			t.Errorf("scale: %v", v.Data[1])
+		}
+		if got := v.NormInf(); got != 14 {
+			t.Errorf("norminf: %v", got)
+		}
+		u := v.Clone()
+		u.PointwiseMult(v, w)
+		if u.Data[0] != 42 {
+			t.Errorf("pointwise: %v", u.Data[0])
+		}
+	})
+}
+
+// buildLaplace1D assembles the global N-point 1-D Laplacian [-1 2 -1]
+// with every rank adding only the rows of elements it "owns" — including
+// contributions to neighbor rows owned by other ranks, exercising the
+// remote-triplet path.
+func buildLaplace1D(r *sim.Rank, nLocal int) (*Mat, *Layout) {
+	l := NewLayout(r, nLocal)
+	m := NewMat(l)
+	n := l.N()
+	// Element e connects nodes e and e+1; distribute elements by node owner.
+	for e := l.Start(); e < l.Offsets[r.ID()+1]; e++ {
+		if e+1 >= n {
+			continue
+		}
+		// 2x2 element matrix [1 -1; -1 1].
+		m.AddValue(e, e, 1)
+		m.AddValue(e, e+1, -1)
+		m.AddValue(e+1, e, -1) // may be remote
+		m.AddValue(e+1, e+1, 1)
+	}
+	m.Assemble()
+	return m, l
+}
+
+func TestMatApplyMatchesSerial(t *testing.T) {
+	const nLocal, p = 5, 4
+	n := nLocal * p
+	// Serial reference.
+	ref := make([][]float64, n)
+	for i := range ref {
+		ref[i] = make([]float64, n)
+	}
+	for e := 0; e < n-1; e++ {
+		ref[e][e] += 1
+		ref[e][e+1] -= 1
+		ref[e+1][e] -= 1
+		ref[e+1][e+1] += 1
+	}
+	x := make([]float64, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, n)
+	for i := range ref {
+		for j, a := range ref[i] {
+			want[i] += a * x[j]
+		}
+	}
+
+	sim.Run(p, func(r *sim.Rank) {
+		m, l := buildLaplace1D(r, nLocal)
+		xv := NewVec(l)
+		for i := range xv.Data {
+			xv.Data[i] = x[l.Start()+int64(i)]
+		}
+		yv := NewVec(l)
+		m.Apply(xv, yv)
+		for i, got := range yv.Data {
+			g := l.Start() + int64(i)
+			if math.Abs(got-want[g]) > 1e-12 {
+				t.Errorf("rank %d row %d: got %v want %v", r.ID(), g, got, want[g])
+			}
+		}
+	})
+}
+
+func TestMatDiag(t *testing.T) {
+	sim.Run(3, func(r *sim.Rank) {
+		m, l := buildLaplace1D(r, 4)
+		d := m.Diag()
+		for i := range d.Data {
+			g := l.Start() + int64(i)
+			want := 2.0
+			if g == 0 || g == l.N()-1 {
+				want = 1.0
+			}
+			if d.Data[i] != want {
+				t.Errorf("diag[%d]=%v want %v", g, d.Data[i], want)
+			}
+		}
+	})
+}
+
+func TestAddValueAccumulates(t *testing.T) {
+	sim.Run(2, func(r *sim.Rank) {
+		l := NewLayout(r, 2)
+		m := NewMat(l)
+		if r.ID() == 0 {
+			// Both ranks contribute to row 3 (owned by rank 1).
+			m.AddValue(3, 0, 1.5)
+		} else {
+			m.AddValue(3, 0, 2.5)
+		}
+		m.Assemble()
+		x := NewVec(l)
+		if l.Owns(0) {
+			x.Data[0] = 1
+		}
+		y := NewVec(l)
+		m.Apply(x, y)
+		if l.Owns(3) {
+			if got := y.Data[3-int(l.Start())]; got != 4 {
+				t.Errorf("accumulated value = %v, want 4", got)
+			}
+		}
+	})
+}
+
+func TestSymmetryOfLaplace(t *testing.T) {
+	// x'Ay == y'Ax for the symmetric assembled operator.
+	sim.Run(4, func(r *sim.Rank) {
+		m, l := buildLaplace1D(r, 3)
+		rng := rand.New(rand.NewSource(int64(100)))
+		x, y := NewVec(l), NewVec(l)
+		for i := range x.Data {
+			g := int(l.Start()) + i
+			x.Data[i] = math.Sin(float64(g))
+			y.Data[i] = math.Cos(float64(3 * g))
+			_ = rng
+		}
+		ax, ay := NewVec(l), NewVec(l)
+		m.Apply(x, ax)
+		m.Apply(y, ay)
+		if d1, d2 := ax.Dot(y), ay.Dot(x); math.Abs(d1-d2) > 1e-12 {
+			t.Errorf("asymmetry: %v vs %v", d1, d2)
+		}
+	})
+}
+
+func TestLocalCSR(t *testing.T) {
+	sim.Run(2, func(r *sim.Rank) {
+		m, l := buildLaplace1D(r, 4)
+		c := m.LocalCSR()
+		if c.N != 4 {
+			t.Errorf("local csr n=%d", c.N)
+		}
+		// Diagonal block of 1-D Laplacian applied to ones: interior rows
+		// of the block give 0 except at block boundary rows.
+		x := make([]float64, 4)
+		for i := range x {
+			x[i] = 1
+		}
+		y := make([]float64, 4)
+		c.Apply(x, y)
+		for i := 1; i < 3; i++ {
+			g := int(l.Start()) + i
+			if g > 0 && g < int(l.N())-1 && math.Abs(y[i]) > 1e-14 && i != 0 && i != 3 {
+				t.Errorf("interior row %d of diag block: %v", i, y[i])
+			}
+		}
+		d := c.Diag()
+		for i, v := range d {
+			g := int(l.Start()) + i
+			want := 2.0
+			if g == 0 || g == int(l.N())-1 {
+				want = 1.0
+			}
+			if v != want {
+				t.Errorf("csr diag[%d]=%v", i, v)
+			}
+		}
+	})
+}
+
+func TestSingleRankMat(t *testing.T) {
+	sim.Run(1, func(r *sim.Rank) {
+		m, l := buildLaplace1D(r, 6)
+		x := NewVec(l)
+		x.Set(1)
+		y := NewVec(l)
+		m.Apply(x, y)
+		// Laplacian of constant is zero.
+		if y.Norm2() > 1e-14 {
+			t.Errorf("laplace(1) = %v", y.Norm2())
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package la
+
+// VecBuilder accumulates additive contributions to a distributed vector,
+// including entries owned by other ranks (routed at Finalize). It is the
+// vector analogue of Mat assembly, used for FEM right-hand sides.
+type VecBuilder struct {
+	layout *Layout
+	local  []float64
+	remote []struct {
+		G int64
+		V float64
+	}
+}
+
+// NewVecBuilder creates a builder on the layout.
+func NewVecBuilder(l *Layout) *VecBuilder {
+	return &VecBuilder{layout: l, local: make([]float64, l.Local())}
+}
+
+// Add accumulates v into global entry g.
+func (b *VecBuilder) Add(g int64, v float64) {
+	if v == 0 {
+		return
+	}
+	if b.layout.Owns(g) {
+		b.local[g-b.layout.Start()] += v
+	} else {
+		b.remote = append(b.remote, struct {
+			G int64
+			V float64
+		}{g, v})
+	}
+}
+
+// Finalize routes off-rank contributions and returns the assembled vector
+// (collective).
+func (b *VecBuilder) Finalize() *Vec {
+	r := b.layout.rank
+	p := r.Size()
+	byRank := make([][]struct {
+		G int64
+		V float64
+	}, p)
+	for _, t := range b.remote {
+		o := b.layout.OwnerOf(t.G)
+		byRank[o] = append(byRank[o], t)
+	}
+	out := make([]any, p)
+	nb := make([]int, p)
+	for j := range byRank {
+		out[j] = byRank[j]
+		nb[j] = 16 * len(byRank[j])
+	}
+	in := r.Alltoall(out, nb)
+	for i, d := range in {
+		if i == r.ID() {
+			continue
+		}
+		for _, t := range d.([]struct {
+			G int64
+			V float64
+		}) {
+			b.local[t.G-b.layout.Start()] += t.V
+		}
+	}
+	v := NewVec(b.layout)
+	copy(v.Data, b.local)
+	return v
+}

@@ -1,0 +1,322 @@
+package mesh
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"rhea/internal/la"
+	"rhea/internal/morton"
+	"rhea/internal/octree"
+	"rhea/internal/sim"
+)
+
+// --- brute-force oracle -------------------------------------------------
+
+// touches reports whether node position p lies on the closed boundary of
+// leaf o.
+func touches(o morton.Octant, p [3]uint32) bool {
+	h := o.Len()
+	a := [3]uint32{o.X, o.Y, o.Z}
+	for i := 0; i < 3; i++ {
+		if p[i] < a[i] || p[i] > a[i]+h {
+			return false
+		}
+	}
+	return true
+}
+
+// isCorner reports whether p is one of o's eight corners.
+func isCorner(o morton.Octant, p [3]uint32) bool {
+	h := o.Len()
+	a := [3]uint32{o.X, o.Y, o.Z}
+	for i := 0; i < 3; i++ {
+		if p[i] != a[i] && p[i] != a[i]+h {
+			return false
+		}
+	}
+	return true
+}
+
+// oracleHanging decides by definition: p (a corner of some element) hangs
+// iff some leaf touching p does not have p as a corner.
+func oracleHanging(all []morton.Octant, p [3]uint32) bool {
+	for _, o := range all {
+		if touches(o, p) && !isCorner(o, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// gatherAll collects every rank's leaves (thread-safe).
+type collector struct {
+	mu     sync.Mutex
+	leaves []morton.Octant
+	// position-key -> gid observed, for cross-rank consistency
+	gids map[uint64]int64
+	// position-key -> hanging classification observed
+	hang map[uint64]bool
+}
+
+func newCollector() *collector {
+	return &collector{gids: map[uint64]int64{}, hang: map[uint64]bool{}}
+}
+
+func (c *collector) addMesh(t *testing.T, m *Mesh) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.leaves = append(c.leaves, m.Leaves...)
+	for ei := range m.Corners {
+		for k := 0; k < 8; k++ {
+			co := m.Corners[ei][k]
+			key := posKey(co.Pos)
+			if prev, ok := c.hang[key]; ok && prev != co.Hanging {
+				t.Errorf("inconsistent hanging classification at %v", co.Pos)
+			}
+			c.hang[key] = co.Hanging
+			if !co.Hanging {
+				if prev, ok := c.gids[key]; ok && prev != co.GID[0] {
+					t.Errorf("inconsistent gid at %v: %d vs %d", co.Pos, prev, co.GID[0])
+				}
+				c.gids[key] = co.GID[0]
+			}
+			var wsum float64
+			for j := 0; j < int(co.N); j++ {
+				wsum += co.W[j]
+			}
+			if wsum < 0.999999 || wsum > 1.000001 {
+				t.Errorf("weights at %v sum to %v", co.Pos, wsum)
+			}
+		}
+	}
+}
+
+// buildTree creates a deterministic refined+balanced tree.
+func buildTree(r *sim.Rank, base uint8, refine func(morton.Octant) bool, passes int) *octree.Tree {
+	tr := octree.New(r, base)
+	for i := 0; i < passes; i++ {
+		tr.Refine(refine)
+	}
+	tr.Balance()
+	tr.Partition()
+	return tr
+}
+
+func TestUniformMeshNodeCount(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		sim.Run(p, func(r *sim.Rank) {
+			tr := octree.New(r, 2)
+			m := Extract(tr)
+			if m.NGlobal != 125 { // (4+1)^3
+				t.Errorf("p=%d: NGlobal=%d, want 125", p, m.NGlobal)
+			}
+			st := m.GlobalStats()
+			if st.Elements != 64 {
+				t.Errorf("elements=%d", st.Elements)
+			}
+			if st.HangingLocal != 0 {
+				t.Errorf("uniform mesh has %d hanging corners", st.HangingLocal)
+			}
+		})
+	}
+}
+
+func TestSingleRefinementCounts(t *testing.T) {
+	// Level-1 mesh with octant (0,0,0) refined once. Counted by hand:
+	// 27 level-1 nodes + 19 new positions on the fine grid; of the new
+	// ones, those on the three interior faces of the refined octant that
+	// are not level-1 aligned hang.
+	var nGlobal int64
+	var hang int64
+	sim.Run(1, func(r *sim.Rank) {
+		tr := octree.New(r, 1)
+		tr.Refine(func(o morton.Octant) bool { return o.X == 0 && o.Y == 0 && o.Z == 0 })
+		tr.Balance()
+		m := Extract(tr)
+		nGlobal = m.NGlobal
+		hang = m.GlobalStats().HangingLocal
+	})
+	// New fine-grid positions: {0,1/4,1/2}^3 minus the 8 level-1-aligned
+	// corners = 19. A new node hangs iff it lies on one of the three
+	// interface planes x=1/2, y=1/2, z=1/2 (it then touches a coarse
+	// neighbor for which it is a face/edge interior point). Per plane
+	// there are 5 such positions (9 grid points minus 4 coarse-aligned),
+	// and 3 points sit on two planes at once, so hanging = 3*5 - 3 = 12.
+	// Independent new nodes = 19 - 12 = 7 (the all-{0,1/4} positions),
+	// giving 27 + 7 = 34 global nodes.
+	if nGlobal != 34 {
+		t.Errorf("NGlobal=%d, want 34", nGlobal)
+	}
+	if hang == 0 {
+		t.Errorf("expected hanging corners, got none")
+	}
+}
+
+func TestHangingClassificationMatchesOracle(t *testing.T) {
+	refine := func(o morton.Octant) bool {
+		return o.X == 0 && o.Z == 0 // refine an edge strip
+	}
+	for _, p := range []int{1, 3, 6} {
+		col := newCollector()
+		sim.Run(p, func(r *sim.Rank) {
+			tr := buildTree(r, 1, refine, 2)
+			m := Extract(tr)
+			col.addMesh(t, m)
+		})
+		sort.Slice(col.leaves, func(i, j int) bool { return morton.Less(col.leaves[i], col.leaves[j]) })
+		for key, gotHang := range col.hang {
+			pos := [3]uint32{uint32(key & 0x1fffff), uint32(key >> 21 & 0x1fffff), uint32(key >> 42 & 0x1fffff)}
+			want := oracleHanging(col.leaves, pos)
+			if gotHang != want {
+				t.Fatalf("p=%d: node %v classified hanging=%v, oracle says %v", p, pos, gotHang, want)
+			}
+		}
+	}
+}
+
+func TestGlobalIDsContiguous(t *testing.T) {
+	refine := func(o morton.Octant) bool { return o.Y == 0 }
+	for _, p := range []int{1, 5} {
+		col := newCollector()
+		var nGlobal int64
+		sim.Run(p, func(r *sim.Rank) {
+			tr := buildTree(r, 1, refine, 1)
+			m := Extract(tr)
+			nGlobal = m.NGlobal
+			col.addMesh(t, m)
+		})
+		seen := map[int64]bool{}
+		for _, g := range col.gids {
+			if g < 0 || g >= nGlobal {
+				t.Fatalf("gid %d outside [0,%d)", g, nGlobal)
+			}
+			if seen[g] {
+				t.Fatalf("gid %d assigned to two positions", g)
+			}
+			seen[g] = true
+		}
+		if int64(len(seen)) != nGlobal {
+			t.Fatalf("p=%d: observed %d distinct gids, want %d", p, len(seen), nGlobal)
+		}
+	}
+}
+
+func TestNGlobalIndependentOfPartition(t *testing.T) {
+	refine := func(o morton.Octant) bool { return o.X == 0 && o.Y == 0 && o.Z == 0 }
+	counts := map[int]int64{}
+	for _, p := range []int{1, 2, 7} {
+		var n int64
+		sim.Run(p, func(r *sim.Rank) {
+			tr := buildTree(r, 1, refine, 3)
+			m := Extract(tr)
+			n = m.NGlobal
+		})
+		counts[p] = n
+	}
+	if counts[1] != counts[2] || counts[1] != counts[7] {
+		t.Fatalf("node counts depend on partition: %v", counts)
+	}
+}
+
+// Linear fields must be reproduced exactly through hanging-node
+// interpolation: set u = a + b x + c y + d z at the owned nodes and check
+// every element corner evaluates to the same linear function.
+func TestLinearFieldReproduction(t *testing.T) {
+	lin := func(p [3]uint32) float64 {
+		return 0.5 + 1.25*float64(p[0]) - 0.75*float64(p[1]) + 2.0*float64(p[2])
+	}
+	refine := func(o morton.Octant) bool { return o.X == 0 }
+	for _, p := range []int{1, 4} {
+		sim.Run(p, func(r *sim.Rank) {
+			tr := buildTree(r, 1, refine, 2)
+			m := Extract(tr)
+			u := la.NewVec(m.Layout())
+			for i, pos := range m.OwnedPos {
+				u.Data[i] = lin(pos)
+			}
+			vals := m.GatherReferenced(u)
+			for ei := range m.Corners {
+				for c := 0; c < 8; c++ {
+					got := m.CornerValue(vals, ei, c)
+					want := lin(m.Corners[ei][c].Pos)
+					if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+						t.Errorf("p=%d elem %d corner %d at %v: got %v want %v",
+							p, ei, c, m.Corners[ei][c].Pos, got, want)
+						return
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRandomizedMeshInvariants(t *testing.T) {
+	for seed := int64(0); seed < 2; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		// Deterministic random refinement: decide per octant via its key.
+		marks := map[uint64]bool{}
+		refine := func(o morton.Octant) bool {
+			k := o.Key()
+			if v, ok := marks[k]; ok {
+				return v
+			}
+			v := rng.Intn(3) == 0
+			marks[k] = v
+			return v
+		}
+		// Pre-generate marks on one rank so that all ranks agree.
+		var mu sync.Mutex
+		safeRefine := func(o morton.Octant) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return refine(o)
+		}
+		col := newCollector()
+		sim.Run(4, func(r *sim.Rank) {
+			tr := buildTree(r, 2, safeRefine, 2)
+			m := Extract(tr)
+			col.addMesh(t, m)
+		})
+		sort.Slice(col.leaves, func(i, j int) bool { return morton.Less(col.leaves[i], col.leaves[j]) })
+		checked := 0
+		for key, gotHang := range col.hang {
+			pos := [3]uint32{uint32(key & 0x1fffff), uint32(key >> 21 & 0x1fffff), uint32(key >> 42 & 0x1fffff)}
+			if oracleHanging(col.leaves, pos) != gotHang {
+				t.Fatalf("seed %d: classification mismatch at %v", seed, pos)
+			}
+			checked++
+			if checked > 3000 {
+				break
+			}
+		}
+	}
+}
+
+func TestLocalIndexAndGID(t *testing.T) {
+	sim.Run(2, func(r *sim.Rank) {
+		tr := octree.New(r, 1)
+		m := Extract(tr)
+		for i, pos := range m.OwnedPos {
+			li, ok := m.LocalIndex(pos)
+			if !ok || li != int32(i) {
+				t.Errorf("LocalIndex(%v) = %d,%v", pos, li, ok)
+			}
+			if g := m.GID(pos); g != m.Offset+int64(i) {
+				t.Errorf("GID(%v) = %d", pos, g)
+			}
+		}
+	})
+}
+
+func TestGhostLayerPresent(t *testing.T) {
+	sim.Run(4, func(r *sim.Rank) {
+		tr := octree.New(r, 2)
+		m := Extract(tr)
+		// With 4 ranks on a 4x4x4 grid every rank has remote neighbors.
+		if m.NumGhostLeaves == 0 {
+			t.Errorf("rank %d: no ghost leaves", r.ID())
+		}
+	})
+}

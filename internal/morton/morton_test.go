@@ -1,0 +1,290 @@
+package morton
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randOctant(r *rand.Rand, maxLevel uint8) Octant {
+	l := uint8(r.Intn(int(maxLevel) + 1))
+	mask := ^(uint32(1)<<(MaxLevel-uint32(l)) - 1)
+	return Octant{
+		X:     r.Uint32() % RootLen & mask,
+		Y:     r.Uint32() % RootLen & mask,
+		Z:     r.Uint32() % RootLen & mask,
+		Level: l,
+	}
+}
+
+func TestRoot(t *testing.T) {
+	r := Root()
+	if r.Level != 0 || r.X != 0 || r.Y != 0 || r.Z != 0 {
+		t.Fatalf("bad root %v", r)
+	}
+	if r.Len() != RootLen {
+		t.Fatalf("root len = %d, want %d", r.Len(), RootLen)
+	}
+	if !r.Valid() {
+		t.Fatal("root must be valid")
+	}
+}
+
+func TestChildParentRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 1000; iter++ {
+		o := randOctant(r, MaxLevel-1)
+		for i := 0; i < 8; i++ {
+			c := o.Child(i)
+			if !c.Valid() {
+				t.Fatalf("invalid child %v of %v", c, o)
+			}
+			if c.Parent() != o {
+				t.Fatalf("parent(child(%v,%d)) = %v", o, i, c.Parent())
+			}
+			if c.ChildID() != i {
+				t.Fatalf("childID(%v) = %d, want %d", c, c.ChildID(), i)
+			}
+			if !o.IsAncestorOf(c) {
+				t.Fatalf("%v should be ancestor of %v", o, c)
+			}
+		}
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	f := func(x, y, z uint32, l uint8) bool {
+		l = l % (MaxLevel + 1)
+		mask := ^(uint32(1)<<(MaxLevel-uint32(l)) - 1)
+		o := Octant{x % RootLen & mask, y % RootLen & mask, z % RootLen & mask, l}
+		return FromKey(o.Key()) == o
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleaveInverse(t *testing.T) {
+	f := func(x, y, z uint32) bool {
+		x, y, z = x%RootLen, y%RootLen, z%RootLen
+		xx, yy, zz := deinterleave(interleave(x, y, z))
+		return xx == x && yy == y && zz == z
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The Morton order must equal the pre-order traversal of the octree: the
+// children of an octant, visited in z-order, are contiguous and follow
+// their parent.
+func TestPreOrderProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 500; iter++ {
+		o := randOctant(r, MaxLevel-1)
+		prev := o
+		for i := 0; i < 8; i++ {
+			c := o.Child(i)
+			if !Less(prev, c) {
+				t.Fatalf("order violation: %v !< %v", prev, c)
+			}
+			prev = c
+		}
+		// Last descendant of o precedes o's successor at the same level.
+		last := o.LastDescendant(MaxLevel)
+		if !o.ContainsOrEqual(last) {
+			t.Fatalf("last descendant %v not inside %v", last, o)
+		}
+	}
+}
+
+func TestSortMatchesTraversal(t *testing.T) {
+	// Build the full octree to level 2 via traversal; shuffled sort must
+	// reproduce the traversal order.
+	var traversal []Octant
+	var walk func(o Octant)
+	walk = func(o Octant) {
+		traversal = append(traversal, o)
+		if o.Level < 2 {
+			for i := 0; i < 8; i++ {
+				walk(o.Child(i))
+			}
+		}
+	}
+	walk(Root())
+
+	shuffled := append([]Octant(nil), traversal...)
+	r := rand.New(rand.NewSource(3))
+	r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	sort.Slice(shuffled, func(i, j int) bool { return Less(shuffled[i], shuffled[j]) })
+	for i := range traversal {
+		if shuffled[i] != traversal[i] {
+			t.Fatalf("position %d: got %v, want %v", i, shuffled[i], traversal[i])
+		}
+	}
+}
+
+func TestFaceNeighbor(t *testing.T) {
+	o := Octant{0, 0, 0, 2}
+	if _, ok := o.FaceNeighbor(0); ok {
+		t.Fatal("-x neighbor of domain corner must be outside")
+	}
+	n, ok := o.FaceNeighbor(1)
+	if !ok || n.X != o.Len() || n.Y != 0 || n.Z != 0 || n.Level != 2 {
+		t.Fatalf("+x neighbor = %v, ok=%v", n, ok)
+	}
+	// Neighbor relation is symmetric: +x then -x returns the original.
+	back, ok := n.FaceNeighbor(0)
+	if !ok || back != o {
+		t.Fatalf("neighbor round trip failed: %v", back)
+	}
+}
+
+func TestNeighborSymmetry(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	opposite := [6]int{1, 0, 3, 2, 5, 4}
+	for iter := 0; iter < 1000; iter++ {
+		o := randOctant(r, 10)
+		for f := 0; f < 6; f++ {
+			n, ok := o.FaceNeighbor(f)
+			if !ok {
+				continue
+			}
+			back, ok2 := n.FaceNeighbor(opposite[f])
+			if !ok2 || back != o {
+				t.Fatalf("face %d symmetry broken for %v", f, o)
+			}
+		}
+	}
+}
+
+func TestAllNeighborsCount(t *testing.T) {
+	// Interior octant has exactly 26 neighbors.
+	o := Octant{RootLen / 2, RootLen / 2, RootLen / 2, 4}
+	ns := o.AllNeighbors(nil)
+	if len(ns) != 26 {
+		t.Fatalf("interior octant has %d neighbors, want 26", len(ns))
+	}
+	seen := map[Octant]bool{}
+	for _, n := range ns {
+		if seen[n] {
+			t.Fatalf("duplicate neighbor %v", n)
+		}
+		seen[n] = true
+		if !n.Valid() {
+			t.Fatalf("invalid neighbor %v", n)
+		}
+	}
+	// Domain corner has exactly 7.
+	c := Octant{0, 0, 0, 4}
+	if got := len(c.AllNeighbors(nil)); got != 7 {
+		t.Fatalf("corner octant has %d neighbors, want 7", got)
+	}
+}
+
+func TestAncestor(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 1000; iter++ {
+		o := randOctant(r, MaxLevel)
+		if o.Level == 0 {
+			continue
+		}
+		a := o.Ancestor(0)
+		if a != Root() {
+			t.Fatalf("ancestor at level 0 of %v = %v", o, a)
+		}
+		if o.Ancestor(o.Level) != o {
+			t.Fatal("ancestor at own level must be identity")
+		}
+		p := o.Parent()
+		if o.Ancestor(o.Level-1) != p {
+			t.Fatal("ancestor at level-1 must equal parent")
+		}
+	}
+}
+
+func TestFirstLastDescendant(t *testing.T) {
+	o := Octant{0, 0, 0, 1}
+	fd := o.FirstDescendant(3)
+	if fd.X != 0 || fd.Level != 3 {
+		t.Fatalf("first descendant %v", fd)
+	}
+	ld := o.LastDescendant(3)
+	want := o.Len() - uint32(1)<<(MaxLevel-3)
+	if ld.X != want || ld.Y != want || ld.Z != want {
+		t.Fatalf("last descendant %v, want anchor %d", ld, want)
+	}
+	if !o.IsAncestorOf(ld) {
+		t.Fatal("last descendant must be inside octant")
+	}
+}
+
+func TestNearestCommonAncestor(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for iter := 0; iter < 500; iter++ {
+		o := randOctant(r, 10)
+		a, b := o.Child(0).Child(3), o.Child(7)
+		if o.Level+2 > MaxLevel {
+			continue
+		}
+		nca := NearestCommonAncestor(a, b)
+		if nca != o {
+			t.Fatalf("NCA(%v,%v) = %v, want %v", a, b, nca, o)
+		}
+	}
+	// NCA of an octant with itself is itself.
+	o := Octant{0, 0, 0, 5}
+	if NearestCommonAncestor(o, o) != o {
+		t.Fatal("NCA(o,o) != o")
+	}
+}
+
+func TestContainingOctant(t *testing.T) {
+	o := ContainingOctant(RootLen-1, 0, 0, 1)
+	if o.X != RootLen/2 || o.Y != 0 || o.Level != 1 {
+		t.Fatalf("containing octant %v", o)
+	}
+}
+
+func TestCornerEdgeNeighbors(t *testing.T) {
+	o := Octant{RootLen / 2, RootLen / 2, RootLen / 2, 3}
+	n, ok := o.CornerNeighbor(0)
+	if !ok {
+		t.Fatal("corner neighbor 0 must exist for interior octant")
+	}
+	if n.X != o.X-o.Len() || n.Y != o.Y-o.Len() || n.Z != o.Z-o.Len() {
+		t.Fatalf("corner neighbor %v", n)
+	}
+	for e := 0; e < 12; e++ {
+		if _, ok := o.EdgeNeighbor(e); !ok {
+			t.Fatalf("edge neighbor %d must exist for interior octant", e)
+		}
+	}
+}
+
+func TestValid(t *testing.T) {
+	if (Octant{1, 0, 0, 0}).Valid() {
+		t.Fatal("misaligned octant must be invalid")
+	}
+	if (Octant{0, 0, 0, MaxLevel + 1}).Valid() {
+		t.Fatal("too-deep octant must be invalid")
+	}
+	if !(Octant{0, 0, 0, MaxLevel}).Valid() {
+		t.Fatal("finest octant at origin must be valid")
+	}
+}
+
+func BenchmarkKey(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	octs := make([]Octant, 1024)
+	for i := range octs {
+		octs[i] = randOctant(r, MaxLevel)
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += octs[i%1024].Key()
+	}
+	_ = sink
+}

@@ -1,0 +1,81 @@
+package octree
+
+import "rhea/internal/morton"
+
+// RefineMarked replaces each local leaf whose mark is set by its eight
+// children (marks is indexed like Leaves). It returns the number of
+// leaves refined. Purely local.
+func (t *Tree) RefineMarked(marks []bool) int {
+	out := make([]morton.Octant, 0, len(t.leaves))
+	n := 0
+	for i, o := range t.leaves {
+		if marks[i] && o.Level < morton.MaxLevel {
+			cs := o.Children()
+			out = append(out, cs[:]...)
+			n++
+		} else {
+			out = append(out, o)
+		}
+	}
+	t.leaves = out
+	t.updateStarts()
+	return n
+}
+
+// CoarsenMarked replaces every complete local family of eight siblings,
+// all of whose marks are set, by their parent. It returns the number of
+// families coarsened. Purely local.
+func (t *Tree) CoarsenMarked(marks []bool) int {
+	out := make([]morton.Octant, 0, len(t.leaves))
+	n := 0
+	for i := 0; i < len(t.leaves); {
+		o := t.leaves[i]
+		if o.Level > 0 && o.ChildID() == 0 && i+8 <= len(t.leaves) {
+			parent := o.Parent()
+			ok := true
+			for j := 0; j < 8; j++ {
+				if t.leaves[i+j] != parent.Child(j) || !marks[i+j] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, parent)
+				i += 8
+				n++
+				continue
+			}
+		}
+		out = append(out, o)
+		i++
+	}
+	t.leaves = out
+	t.updateStarts()
+	return n
+}
+
+// CountCoarsenableFamilies returns how many complete local families have
+// all eight marks set, without modifying the tree.
+func (t *Tree) CountCoarsenableFamilies(marks []bool) int {
+	n := 0
+	for i := 0; i+8 <= len(t.leaves); {
+		o := t.leaves[i]
+		if o.Level > 0 && o.ChildID() == 0 {
+			parent := o.Parent()
+			ok := true
+			for j := 0; j < 8; j++ {
+				if t.leaves[i+j] != parent.Child(j) || !marks[i+j] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				n++
+				i += 8
+				continue
+			}
+		}
+		i++
+	}
+	return n
+}

@@ -1,0 +1,496 @@
+// Package octree implements the distributed linear octree at the heart of
+// ALPS (paper §IV): a sorted array of leaf octants partitioned across
+// ranks along the Morton space-filling curve, with the dynamic AMR
+// functions NewTree, RefineTree, CoarsenTree, BalanceTree (2:1), and
+// PartitionTree.
+//
+// Only leaves are stored; interior octants are implicit. Each rank owns a
+// contiguous segment of the space-filling curve, and — as in the paper —
+// the only globally replicated information is one integer per rank: the
+// curve position where that rank's segment begins (exchanged with an
+// allgather).
+package octree
+
+import (
+	"fmt"
+	"sort"
+
+	"rhea/internal/morton"
+	"rhea/internal/sim"
+)
+
+// curvePos returns the position of the octant's first finest-level
+// descendant along the Morton curve (a 57-bit value).
+func curvePos(o morton.Octant) uint64 {
+	return o.Key() >> 5
+}
+
+// curveSpan returns the number of finest-level curve positions covered by
+// an octant at the given level.
+func curveSpan(level uint8) uint64 {
+	return 1 << (3 * (morton.MaxLevel - uint64(level)))
+}
+
+// curveEnd is one past the last curve position of the root domain.
+const curveEnd = uint64(1) << (3 * morton.MaxLevel)
+
+// Tree is one rank's partition of a distributed linear octree.
+type Tree struct {
+	rank   *sim.Rank
+	leaves []morton.Octant // sorted along the curve
+	starts []uint64        // starts[i] = first curve position owned by rank i; len = P+1, starts[P] = curveEnd
+}
+
+// octantBytes is the modeled wire size of one octant (16 bytes: three
+// coordinates and a level, padded).
+const octantBytes = 16
+
+// New creates a uniformly refined octree at the given level, with leaves
+// distributed evenly along the space-filling curve. It mirrors the
+// paper's NewTree: conceptually every rank grows the coarse tree and
+// prunes the part it does not own.
+func New(r *sim.Rank, level uint8) *Tree {
+	t := &Tree{rank: r}
+	total := int64(1) << (3 * int64(level))
+	lo, hi := shareRange(total, int64(r.Size()), int64(r.ID()))
+	t.leaves = make([]morton.Octant, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		t.leaves = append(t.leaves, octantAtIndex(uint64(i), level))
+	}
+	t.updateStarts()
+	return t
+}
+
+// octantAtIndex returns the i-th octant (in curve order) of the uniform
+// refinement at the given level.
+func octantAtIndex(i uint64, level uint8) morton.Octant {
+	key := i << (3 * (morton.MaxLevel - uint64(level)))
+	o := morton.FromKey(key<<5 | uint64(level))
+	return o
+}
+
+// shareRange splits total items over p shares and returns share i's
+// half-open range, distributing remainders to the low shares.
+func shareRange(total, p, i int64) (lo, hi int64) {
+	q, rem := total/p, total%p
+	lo = q*i + min64(i, rem)
+	hi = lo + q
+	if i < rem {
+		hi++
+	}
+	return
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Rank returns the communicator rank this tree partition belongs to.
+func (t *Tree) Rank() *sim.Rank { return t.rank }
+
+// Leaves returns the local leaves in curve order. The slice is owned by
+// the tree; callers must not modify it.
+func (t *Tree) Leaves() []morton.Octant { return t.leaves }
+
+// NumLocal returns the number of leaves owned by this rank.
+func (t *Tree) NumLocal() int { return len(t.leaves) }
+
+// NumGlobal returns the global number of leaves (collective).
+func (t *Tree) NumGlobal() int64 {
+	return t.rank.AllreduceInt64(int64(len(t.leaves)))
+}
+
+// GlobalFirst returns the global index of this rank's first leaf
+// (collective).
+func (t *Tree) GlobalFirst() int64 {
+	return t.rank.ExScan(int64(len(t.leaves)))
+}
+
+// updateStarts refreshes the replicated partition markers: one allgather
+// of a single integer per rank, exactly the paper's scheme. Empty ranks
+// inherit the start of the next non-empty rank.
+func (t *Tree) updateStarts() {
+	var my uint64 = curveEnd // sentinel for "empty"
+	if len(t.leaves) > 0 {
+		my = curvePos(t.leaves[0])
+	}
+	raw := t.rank.AllgatherUint64(my)
+	p := t.rank.Size()
+	starts := make([]uint64, p+1)
+	starts[p] = curveEnd
+	for i := p - 1; i >= 0; i-- {
+		if raw[i] == curveEnd {
+			starts[i] = starts[i+1]
+		} else {
+			starts[i] = raw[i]
+		}
+	}
+	starts[0] = 0 // rank 0's segment conceptually begins at the curve origin
+	t.starts = starts
+}
+
+// Owner returns the rank owning the leaf that contains the given curve
+// position.
+func (t *Tree) ownerOfPos(pos uint64) int {
+	// Find the last i with starts[i] <= pos.
+	i := sort.Search(len(t.starts), func(i int) bool { return t.starts[i] > pos }) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= t.rank.Size() {
+		i = t.rank.Size() - 1
+	}
+	return i
+}
+
+// Owners appends to dst every rank whose segment overlaps the octant's
+// curve interval and returns dst.
+func (t *Tree) Owners(o morton.Octant, dst []int) []int {
+	lo := curvePos(o)
+	hi := lo + curveSpan(o.Level) // exclusive
+	first := t.ownerOfPos(lo)
+	for i := first; i < t.rank.Size(); i++ {
+		if t.starts[i] >= hi {
+			break
+		}
+		// Segment [starts[i], starts[i+1]) overlaps [lo, hi).
+		if t.starts[i+1] > lo {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// findLocal returns the index of the local leaf equal to o, or -1.
+func (t *Tree) findLocal(o morton.Octant) int {
+	k := o.Key()
+	i := sort.Search(len(t.leaves), func(i int) bool { return t.leaves[i].Key() >= k })
+	if i < len(t.leaves) && t.leaves[i] == o {
+		return i
+	}
+	return -1
+}
+
+// FindContaining returns the local leaf that is o or an ancestor of o,
+// and whether one exists.
+func (t *Tree) FindContaining(o morton.Octant) (morton.Octant, bool) {
+	pos := curvePos(o)
+	k := o.Key()
+	// The candidate is the last leaf with key <= o's key, because an
+	// ancestor precedes all its descendants in the pre-order.
+	i := sort.Search(len(t.leaves), func(i int) bool { return t.leaves[i].Key() > k })
+	if i == 0 {
+		return morton.Octant{}, false
+	}
+	l := t.leaves[i-1]
+	if l.ContainsOrEqual(o) {
+		return l, true
+	}
+	_ = pos
+	return morton.Octant{}, false
+}
+
+// Refine replaces every local leaf for which shouldRefine returns true by
+// its eight children. Purely local, no communication (paper: REFINETREE).
+// Leaves already at morton.MaxLevel are never refined. It returns the
+// number of leaves refined.
+func (t *Tree) Refine(shouldRefine func(morton.Octant) bool) int {
+	out := make([]morton.Octant, 0, len(t.leaves))
+	n := 0
+	for _, o := range t.leaves {
+		if o.Level < morton.MaxLevel && shouldRefine(o) {
+			cs := o.Children()
+			out = append(out, cs[:]...)
+			n++
+		} else {
+			out = append(out, o)
+		}
+	}
+	t.leaves = out
+	t.updateStarts()
+	return n
+}
+
+// Coarsen replaces every complete, locally owned family of eight sibling
+// leaves for which shouldCoarsen returns true by their parent. Families
+// split across ranks are not coarsened (the paper imposes the same
+// restriction). It returns the number of families coarsened.
+func (t *Tree) Coarsen(shouldCoarsen func(parent morton.Octant, children []morton.Octant) bool) int {
+	out := make([]morton.Octant, 0, len(t.leaves))
+	n := 0
+	for i := 0; i < len(t.leaves); {
+		o := t.leaves[i]
+		if o.Level > 0 && o.ChildID() == 0 && i+8 <= len(t.leaves) {
+			parent := o.Parent()
+			family := true
+			for j := 0; j < 8; j++ {
+				if t.leaves[i+j] != parent.Child(j) {
+					family = false
+					break
+				}
+			}
+			if family && shouldCoarsen(parent, t.leaves[i:i+8]) {
+				out = append(out, parent)
+				i += 8
+				n++
+				continue
+			}
+		}
+		out = append(out, o)
+		i++
+	}
+	t.leaves = out
+	t.updateStarts()
+	return n
+}
+
+// Balance enforces the global 2:1 size condition across faces, edges and
+// corners: edge lengths of adjacent leaves may differ by at most a factor
+// of two. It implements a parallel ripple-propagation scheme — local
+// balancing plus buffered exchange of boundary requirements, iterated
+// until a global fixed point — and returns (#leaves added, #rounds).
+func (t *Tree) Balance() (added int, rounds int) {
+	// Work on a set for cheap splits; rebuild the sorted slice at the end.
+	set := make(map[morton.Octant]struct{}, len(t.leaves))
+	for _, o := range t.leaves {
+		set[o] = struct{}{}
+	}
+	before := len(t.leaves)
+
+	pending := append([]morton.Octant(nil), t.leaves...)
+	var nbuf []morton.Octant
+	for {
+		rounds++
+		// Local ripple: every leaf o requires any leaf overlapping a
+		// same-level neighbor n to be at level >= o.Level-1. A violating
+		// leaf is a strict ancestor of n at level < o.Level-1; split it.
+		var remote []morton.Octant
+		for len(pending) > 0 {
+			o := pending[len(pending)-1]
+			pending = pending[:len(pending)-1]
+			if _, live := set[o]; !live {
+				continue // split away since queued
+			}
+			if o.Level <= 1 {
+				continue
+			}
+			nbuf = nbuf[:0]
+			nbuf = o.AllNeighbors(nbuf)
+			for _, n := range nbuf {
+				// Split the (unique) too-coarse leaf covering n until the
+				// leaf overlapping n reaches level o.Level-1.
+				for {
+					a, ok := ancestorInSet(set, n, o.Level-2)
+					if !ok {
+						break
+					}
+					pending = splitLeaf(set, a, pending)
+				}
+				if !t.fullyLocal(n) {
+					remote = append(remote, n)
+				}
+			}
+		}
+
+		// Exchange boundary requirements with the overlapping ranks.
+		incoming := t.exchangeRequirements(remote)
+		changed := int64(0)
+		for _, n := range incoming {
+			if n.Level <= 1 {
+				continue
+			}
+			for {
+				a, ok := ancestorInSet(set, n, n.Level-2)
+				if !ok {
+					break
+				}
+				pending = splitLeaf(set, a, pending)
+				changed = 1
+			}
+		}
+		if t.rank.AllreduceInt64(changed) == 0 {
+			break
+		}
+	}
+
+	t.leaves = t.leaves[:0]
+	for o := range set {
+		t.leaves = append(t.leaves, o)
+	}
+	sort.Slice(t.leaves, func(i, j int) bool { return morton.Less(t.leaves[i], t.leaves[j]) })
+	t.updateStarts()
+	return len(t.leaves) - before, rounds
+}
+
+// ancestorInSet looks for a strict ancestor of n in the set with level <=
+// maxLevel, walking up n's ancestor chain. It returns the deepest such
+// ancestor.
+func ancestorInSet(set map[morton.Octant]struct{}, n morton.Octant, maxLevel uint8) (morton.Octant, bool) {
+	if n.Level == 0 {
+		return morton.Octant{}, false
+	}
+	for l := int(maxLevel); l >= 0; l-- {
+		a := n.Ancestor(uint8(l))
+		if _, ok := set[a]; ok {
+			return a, true
+		}
+	}
+	return morton.Octant{}, false
+}
+
+// splitLeaf replaces a by its eight children in the set and queues them.
+func splitLeaf(set map[morton.Octant]struct{}, a morton.Octant, queue []morton.Octant) []morton.Octant {
+	delete(set, a)
+	for i := 0; i < 8; i++ {
+		c := a.Child(i)
+		set[c] = struct{}{}
+		queue = append(queue, c)
+	}
+	return queue
+}
+
+// fullyLocal reports whether the octant's curve interval lies entirely
+// within this rank's segment.
+func (t *Tree) fullyLocal(o morton.Octant) bool {
+	lo := curvePos(o)
+	hi := lo + curveSpan(o.Level)
+	me := t.rank.ID()
+	return t.starts[me] <= lo && hi <= t.starts[me+1]
+}
+
+// exchangeRequirements routes each requirement octant to every remote
+// rank overlapping it and returns the requirements received.
+func (t *Tree) exchangeRequirements(reqs []morton.Octant) []morton.Octant {
+	p := t.rank.Size()
+	byRank := make([][]morton.Octant, p)
+	var owners []int
+	for _, n := range reqs {
+		owners = t.Owners(n, owners[:0])
+		for _, r := range owners {
+			if r != t.rank.ID() {
+				byRank[r] = append(byRank[r], n)
+			}
+		}
+	}
+	out := make([]any, p)
+	nb := make([]int, p)
+	for j := range byRank {
+		out[j] = byRank[j]
+		nb[j] = octantBytes * len(byRank[j])
+	}
+	in := t.rank.Alltoall(out, nb)
+	var got []morton.Octant
+	for i, d := range in {
+		if i == t.rank.ID() {
+			continue
+		}
+		got = append(got, d.([]morton.Octant)...)
+	}
+	return got
+}
+
+// Partition redistributes leaves so every rank owns an equal share of the
+// space-filling curve segment by leaf count (paper: PARTITIONTREE). The
+// returned slice maps each previously local leaf index to its
+// destination rank, so callers can ship the associated element data with
+// the same routing (TRANSFERFIELDS).
+func (t *Tree) Partition() []int {
+	p := int64(t.rank.Size())
+	local := int64(len(t.leaves))
+	total := t.rank.AllreduceInt64(local)
+	first := t.rank.ExScan(local)
+
+	dest := make([]int, local)
+	byRank := make([][]morton.Octant, p)
+	for i := int64(0); i < local; i++ {
+		g := first + i
+		d := destRank(g, total, p)
+		dest[i] = int(d)
+		byRank[d] = append(byRank[d], t.leaves[i])
+	}
+	out := make([]any, p)
+	nb := make([]int, p)
+	for j := range byRank {
+		out[j] = byRank[j]
+		nb[j] = octantBytes * len(byRank[j])
+	}
+	in := t.rank.Alltoall(out, nb)
+	t.leaves = t.leaves[:0]
+	for i := int64(0); i < p; i++ {
+		t.leaves = append(t.leaves, in[i].([]morton.Octant)...)
+	}
+	// Contributions arrive ordered by source rank, and source segments
+	// are ordered along the curve, so the concatenation is sorted.
+	t.updateStarts()
+	return dest
+}
+
+// destRank returns the rank that global leaf index g is assigned to when
+// total leaves are split evenly over p ranks (remainder to low ranks).
+func destRank(g, total, p int64) int64 {
+	if total == 0 {
+		return 0
+	}
+	q, rem := total/p, total%p
+	cut := (q + 1) * rem // first index owned by the non-remainder ranks
+	if g < cut {
+		return g / (q + 1)
+	}
+	if q == 0 {
+		return p - 1
+	}
+	return rem + (g-cut)/q
+}
+
+// Starts returns the replicated partition markers (curve position where
+// each rank's segment begins; length Size+1).
+func (t *Tree) Starts() []uint64 { return t.starts }
+
+// CheckLocalOrder panics if the local leaves are not strictly sorted —
+// used by tests and as a cheap internal invariant check.
+func (t *Tree) CheckLocalOrder() error {
+	for i := 1; i < len(t.leaves); i++ {
+		if !morton.Less(t.leaves[i-1], t.leaves[i]) {
+			return fmt.Errorf("octree: leaves out of order at %d: %v !< %v", i, t.leaves[i-1], t.leaves[i])
+		}
+	}
+	return nil
+}
+
+// LevelCounts returns the global number of leaves at each level
+// (collective).
+func (t *Tree) LevelCounts() []int64 {
+	counts := make([]float64, morton.MaxLevel+1)
+	for _, o := range t.leaves {
+		counts[o.Level]++
+	}
+	tot := t.rank.AllreduceVec(counts)
+	out := make([]int64, len(tot))
+	for i, v := range tot {
+		out[i] = int64(v)
+	}
+	return out
+}
+
+// MinMaxLevel returns the global minimum and maximum leaf level
+// (collective). For an empty global tree it returns (0, 0).
+func (t *Tree) MinMaxLevel() (uint8, uint8) {
+	lo, hi := float64(morton.MaxLevel+1), float64(-1)
+	for _, o := range t.leaves {
+		if float64(o.Level) < lo {
+			lo = float64(o.Level)
+		}
+		if float64(o.Level) > hi {
+			hi = float64(o.Level)
+		}
+	}
+	glo := t.rank.Allreduce(lo, sim.OpMin)
+	ghi := t.rank.Allreduce(hi, sim.OpMax)
+	if ghi < 0 {
+		return 0, 0
+	}
+	return uint8(glo), uint8(ghi)
+}

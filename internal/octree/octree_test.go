@@ -1,0 +1,373 @@
+package octree
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"rhea/internal/morton"
+	"rhea/internal/sim"
+)
+
+// gather collects every rank's leaves into one sorted global slice.
+type gather struct {
+	mu     sync.Mutex
+	leaves []morton.Octant
+}
+
+func (g *gather) add(ls []morton.Octant) {
+	g.mu.Lock()
+	g.leaves = append(g.leaves, ls...)
+	g.mu.Unlock()
+}
+
+func (g *gather) sorted() []morton.Octant {
+	sort.Slice(g.leaves, func(i, j int) bool { return morton.Less(g.leaves[i], g.leaves[j]) })
+	return g.leaves
+}
+
+// checkTiling verifies that the leaves exactly tile the root domain with
+// no overlap: consecutive curve intervals must abut, and the total span
+// must cover the curve.
+func checkTiling(t *testing.T, leaves []morton.Octant) {
+	t.Helper()
+	var pos uint64
+	for i, o := range leaves {
+		if curvePos(o) != pos {
+			t.Fatalf("leaf %d (%v): curve position %d, want %d (gap or overlap)", i, o, curvePos(o), pos)
+		}
+		pos += curveSpan(o.Level)
+	}
+	if pos != curveEnd {
+		t.Fatalf("leaves cover %d curve positions, want %d", pos, curveEnd)
+	}
+}
+
+// checkBalanced verifies the full (face+edge+corner) 2:1 condition on a
+// global leaf set.
+func checkBalanced(t *testing.T, leaves []morton.Octant) {
+	t.Helper()
+	set := make(map[morton.Octant]struct{}, len(leaves))
+	for _, o := range leaves {
+		set[o] = struct{}{}
+	}
+	var nbuf []morton.Octant
+	for _, o := range leaves {
+		if o.Level <= 1 {
+			continue
+		}
+		nbuf = o.AllNeighbors(nbuf[:0])
+		for _, n := range nbuf {
+			if a, ok := ancestorInSet(set, n, o.Level-2); ok {
+				t.Fatalf("2:1 violation: leaf %v (level %d) adjacent to leaf %v (level %d)",
+					o, o.Level, a, a.Level)
+			}
+		}
+	}
+}
+
+func TestNewUniform(t *testing.T) {
+	for _, p := range []int{1, 3, 8} {
+		g := &gather{}
+		sim.Run(p, func(r *sim.Rank) {
+			tr := New(r, 2)
+			if err := tr.CheckLocalOrder(); err != nil {
+				t.Error(err)
+			}
+			if n := tr.NumGlobal(); n != 64 {
+				t.Errorf("p=%d: global leaves = %d, want 64", p, n)
+			}
+			g.add(tr.Leaves())
+		})
+		leaves := g.sorted()
+		if len(leaves) != 64 {
+			t.Fatalf("p=%d: gathered %d leaves", p, len(leaves))
+		}
+		checkTiling(t, leaves)
+		for _, o := range leaves {
+			if o.Level != 2 {
+				t.Fatalf("leaf %v not at level 2", o)
+			}
+		}
+	}
+}
+
+func TestNewEvenDistribution(t *testing.T) {
+	sim.Run(5, func(r *sim.Rank) {
+		tr := New(r, 2) // 64 leaves over 5 ranks: 13,13,13,13,12
+		n := tr.NumLocal()
+		if n != 12 && n != 13 {
+			t.Errorf("rank %d: %d leaves", r.ID(), n)
+		}
+	})
+}
+
+func TestRefineAll(t *testing.T) {
+	g := &gather{}
+	sim.Run(4, func(r *sim.Rank) {
+		tr := New(r, 1)
+		n := tr.Refine(func(morton.Octant) bool { return true })
+		if n != tr.NumLocal()/8 {
+			t.Errorf("refined %d, have %d leaves", n, tr.NumLocal())
+		}
+		g.add(tr.Leaves())
+	})
+	leaves := g.sorted()
+	if len(leaves) != 64 {
+		t.Fatalf("got %d leaves, want 64", len(leaves))
+	}
+	checkTiling(t, leaves)
+}
+
+func TestRefinePredicateKeepsTiling(t *testing.T) {
+	g := &gather{}
+	sim.Run(3, func(r *sim.Rank) {
+		tr := New(r, 2)
+		tr.Refine(func(o morton.Octant) bool { return o.X == 0 && o.Y == 0 })
+		if err := tr.CheckLocalOrder(); err != nil {
+			t.Error(err)
+		}
+		g.add(tr.Leaves())
+	})
+	checkTiling(t, g.sorted())
+}
+
+func TestCoarsenRoundTripSerial(t *testing.T) {
+	sim.Run(1, func(r *sim.Rank) {
+		tr := New(r, 2)
+		orig := append([]morton.Octant(nil), tr.Leaves()...)
+		tr.Refine(func(morton.Octant) bool { return true })
+		n := tr.Coarsen(func(morton.Octant, []morton.Octant) bool { return true })
+		if n != 64 {
+			t.Errorf("coarsened %d families, want 64", n)
+		}
+		got := tr.Leaves()
+		if len(got) != len(orig) {
+			t.Fatalf("after round trip: %d leaves, want %d", len(got), len(orig))
+		}
+		for i := range got {
+			if got[i] != orig[i] {
+				t.Fatalf("leaf %d: %v != %v", i, got[i], orig[i])
+			}
+		}
+	})
+}
+
+func TestCoarsenRespectsFamilies(t *testing.T) {
+	g := &gather{}
+	sim.Run(4, func(r *sim.Rank) {
+		tr := New(r, 3)
+		// Coarsen everything that forms a local family.
+		tr.Coarsen(func(morton.Octant, []morton.Octant) bool { return true })
+		if err := tr.CheckLocalOrder(); err != nil {
+			t.Error(err)
+		}
+		g.add(tr.Leaves())
+	})
+	checkTiling(t, g.sorted())
+}
+
+func TestBalanceCornerRefinement(t *testing.T) {
+	for _, p := range []int{1, 4, 7} {
+		g := &gather{}
+		sim.Run(p, func(r *sim.Rank) {
+			tr := New(r, 1)
+			// Refine only the origin corner repeatedly to create a sharp
+			// level gradient that must ripple outwards.
+			for i := 0; i < 4; i++ {
+				tr.Refine(func(o morton.Octant) bool { return o.X == 0 && o.Y == 0 && o.Z == 0 })
+			}
+			added, rounds := tr.Balance()
+			if added < 0 {
+				t.Errorf("negative added %d", added)
+			}
+			if rounds < 1 {
+				t.Errorf("rounds=%d", rounds)
+			}
+			if err := tr.CheckLocalOrder(); err != nil {
+				t.Error(err)
+			}
+			g.add(tr.Leaves())
+		})
+		leaves := g.sorted()
+		checkTiling(t, leaves)
+		checkBalanced(t, leaves)
+		// The deep corner must be preserved (balance never coarsens).
+		if leaves[0].Level != 5 {
+			t.Fatalf("p=%d: first leaf level %d, want 5", p, leaves[0].Level)
+		}
+	}
+}
+
+func TestBalanceRandomized(t *testing.T) {
+	for _, p := range []int{1, 5} {
+		for seed := int64(0); seed < 3; seed++ {
+			g := &gather{}
+			sim.Run(p, func(r *sim.Rank) {
+				tr := New(r, 2)
+				rng := rand.New(rand.NewSource(seed*100 + int64(r.ID())))
+				for i := 0; i < 3; i++ {
+					tr.Refine(func(o morton.Octant) bool { return rng.Intn(4) == 0 })
+				}
+				tr.Balance()
+				g.add(tr.Leaves())
+			})
+			leaves := g.sorted()
+			checkTiling(t, leaves)
+			checkBalanced(t, leaves)
+		}
+	}
+}
+
+func TestBalanceIdempotent(t *testing.T) {
+	sim.Run(3, func(r *sim.Rank) {
+		tr := New(r, 1)
+		for i := 0; i < 3; i++ {
+			tr.Refine(func(o morton.Octant) bool { return o.X == 0 && o.Y == 0 && o.Z == 0 })
+		}
+		tr.Balance()
+		n := tr.NumGlobal()
+		added, _ := tr.Balance()
+		if a := r.AllreduceInt64(int64(added)); a != 0 {
+			t.Errorf("second balance added %d leaves", a)
+		}
+		if tr.NumGlobal() != n {
+			t.Errorf("leaf count changed on re-balance")
+		}
+	})
+}
+
+func TestPartitionEvens(t *testing.T) {
+	g := &gather{}
+	sim.Run(6, func(r *sim.Rank) {
+		tr := New(r, 2)
+		// Create imbalance: only rank segments near the origin refine.
+		tr.Refine(func(o morton.Octant) bool { return o.X < morton.RootLen/2 })
+		before := tr.NumGlobal()
+		dests := tr.Partition()
+		if len(dests) >= 0 && tr.NumGlobal() != before {
+			t.Errorf("partition changed global count")
+		}
+		n := int64(tr.NumLocal())
+		max := r.Allreduce(float64(n), sim.OpMax)
+		min := r.Allreduce(float64(n), sim.OpMin)
+		if max-min > 1 {
+			t.Errorf("imbalance after partition: min %v max %v", min, max)
+		}
+		if err := tr.CheckLocalOrder(); err != nil {
+			t.Error(err)
+		}
+		g.add(tr.Leaves())
+	})
+	checkTiling(t, g.sorted())
+}
+
+func TestPartitionDestsRouteEverything(t *testing.T) {
+	sim.Run(4, func(r *sim.Rank) {
+		tr := New(r, 2)
+		tr.Refine(func(o morton.Octant) bool { return o.Z == 0 })
+		nBefore := tr.NumLocal()
+		dests := tr.Partition()
+		if len(dests) != nBefore {
+			t.Errorf("dest map has %d entries for %d leaves", len(dests), nBefore)
+		}
+		for _, d := range dests {
+			if d < 0 || d >= r.Size() {
+				t.Errorf("invalid destination %d", d)
+			}
+		}
+	})
+}
+
+func TestOwnersAndFindContaining(t *testing.T) {
+	sim.Run(4, func(r *sim.Rank) {
+		tr := New(r, 2)
+		// The root octant overlaps every non-empty rank.
+		owners := tr.Owners(morton.Root(), nil)
+		if len(owners) != 4 {
+			t.Errorf("root owners = %v", owners)
+		}
+		// Each local leaf is owned solely by this rank.
+		for _, o := range tr.Leaves() {
+			ow := tr.Owners(o, nil)
+			if len(ow) != 1 || ow[0] != r.ID() {
+				t.Errorf("leaf %v owners = %v, want [%d]", o, ow, r.ID())
+			}
+			// A descendant of a local leaf must be found by FindContaining.
+			if o.Level < morton.MaxLevel {
+				c := o.Child(3)
+				got, ok := tr.FindContaining(c)
+				if !ok || got != o {
+					t.Errorf("FindContaining(%v) = %v,%v", c, got, ok)
+				}
+			}
+		}
+	})
+}
+
+func TestShareRange(t *testing.T) {
+	var total int64 = 67
+	var sum int64
+	prevHi := int64(0)
+	for i := int64(0); i < 5; i++ {
+		lo, hi := shareRange(total, 5, i)
+		if lo != prevHi {
+			t.Fatalf("share %d starts at %d, want %d", i, lo, prevHi)
+		}
+		sum += hi - lo
+		prevHi = hi
+	}
+	if sum != total {
+		t.Fatalf("shares sum to %d", sum)
+	}
+}
+
+func TestDestRankMonotone(t *testing.T) {
+	var total, p int64 = 103, 7
+	counts := make([]int64, p)
+	prev := int64(0)
+	for g := int64(0); g < total; g++ {
+		d := destRank(g, total, p)
+		if d < prev {
+			t.Fatalf("destRank not monotone at %d", g)
+		}
+		prev = d
+		counts[d]++
+	}
+	for i, c := range counts {
+		if c != 14 && c != 15 {
+			t.Fatalf("rank %d gets %d leaves", i, c)
+		}
+	}
+}
+
+func TestLevelCountsAndMinMax(t *testing.T) {
+	sim.Run(3, func(r *sim.Rank) {
+		tr := New(r, 2)
+		tr.Refine(func(o morton.Octant) bool { return o.X == 0 && o.Y == 0 && o.Z == 0 })
+		counts := tr.LevelCounts()
+		if counts[2] != 63 || counts[3] != 8 {
+			t.Errorf("level counts: l2=%d l3=%d", counts[2], counts[3])
+		}
+		lo, hi := tr.MinMaxLevel()
+		if lo != 2 || hi != 3 {
+			t.Errorf("min/max level = %d/%d", lo, hi)
+		}
+	})
+}
+
+func TestOctantAtIndex(t *testing.T) {
+	// Curve order of octantAtIndex must be increasing and tile the level.
+	prev := uint64(0)
+	for i := uint64(0); i < 64; i++ {
+		o := octantAtIndex(i, 2)
+		if o.Level != 2 || !o.Valid() {
+			t.Fatalf("octantAtIndex(%d) = %v", i, o)
+		}
+		if i > 0 && curvePos(o) <= prev {
+			t.Fatalf("curve order violated at %d", i)
+		}
+		prev = curvePos(o)
+	}
+}

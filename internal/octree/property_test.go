@@ -1,0 +1,158 @@
+package octree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rhea/internal/morton"
+	"rhea/internal/sim"
+)
+
+// TestPropertyRandomAdaptationPipeline drives random sequences of
+// refine/coarsen/balance/partition operations across several world sizes
+// and checks the global invariants after every step: the leaves tile the
+// domain exactly, stay sorted, satisfy 2:1 after balance, and the
+// partition stays contiguous along the curve.
+func TestPropertyRandomAdaptationPipeline(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		p := int(pRaw)%6 + 1
+		ok := true
+		g := &gather{}
+		sim.Run(p, func(r *sim.Rank) {
+			rng := rand.New(rand.NewSource(seed)) // same stream on all ranks
+			tr := New(r, 2)
+			for step := 0; step < 4; step++ {
+				op := rng.Intn(4)
+				// Deterministic position-based predicates so ranks agree.
+				cut := uint32(rng.Intn(morton.RootLen))
+				axis := rng.Intn(3)
+				sel := func(o morton.Octant) bool {
+					c := [3]uint32{o.X, o.Y, o.Z}[axis]
+					return c < cut
+				}
+				switch op {
+				case 0:
+					tr.Refine(func(o morton.Octant) bool { return o.Level < 5 && sel(o) })
+				case 1:
+					tr.Coarsen(func(parent morton.Octant, _ []morton.Octant) bool {
+						return parent.Level >= 1 && sel(parent)
+					})
+				case 2:
+					tr.Balance()
+				case 3:
+					tr.Partition()
+				}
+				if err := tr.CheckLocalOrder(); err != nil {
+					t.Error(err)
+					ok = false
+				}
+			}
+			tr.Balance()
+			g.add(tr.Leaves())
+		})
+		leaves := g.sorted()
+		// Tiling.
+		var pos uint64
+		for _, o := range leaves {
+			if curvePos(o) != pos {
+				t.Errorf("seed %d p=%d: tiling broken", seed, p)
+				return false
+			}
+			pos += curveSpan(o.Level)
+		}
+		if pos != curveEnd {
+			t.Errorf("seed %d p=%d: domain not covered", seed, p)
+			return false
+		}
+		// 2:1 balance.
+		set := make(map[morton.Octant]struct{}, len(leaves))
+		for _, o := range leaves {
+			set[o] = struct{}{}
+		}
+		var nbuf []morton.Octant
+		for _, o := range leaves {
+			if o.Level <= 1 {
+				continue
+			}
+			nbuf = o.AllNeighbors(nbuf[:0])
+			for _, n := range nbuf {
+				if _, bad := ancestorInSet(set, n, o.Level-2); bad {
+					t.Errorf("seed %d p=%d: 2:1 violated", seed, p)
+					return false
+				}
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyPartitionPreservesLeafSet: partitioning must permute
+// nothing — the global multiset of leaves is invariant.
+func TestPropertyPartitionPreservesLeafSet(t *testing.T) {
+	f := func(seed int64) bool {
+		before := &gather{}
+		after := &gather{}
+		sim.Run(4, func(r *sim.Rank) {
+			rng := rand.New(rand.NewSource(seed))
+			tr := New(r, 2)
+			cut := uint32(rng.Intn(morton.RootLen))
+			tr.Refine(func(o morton.Octant) bool { return o.X < cut })
+			before.add(append([]morton.Octant(nil), tr.Leaves()...))
+			tr.Partition()
+			after.add(tr.Leaves())
+		})
+		a := before.sorted()
+		b := after.sorted()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyOwnersCoverEverything: for random octants, the union of
+// Owners segments must cover the octant's curve interval with no gaps.
+func TestPropertyOwnersCoverEverything(t *testing.T) {
+	sim.Run(5, func(r *sim.Rank) {
+		tr := New(r, 2)
+		tr.Refine(func(o morton.Octant) bool { return o.Z == 0 })
+		rng := rand.New(rand.NewSource(int64(77)))
+		for it := 0; it < 200; it++ {
+			l := uint8(rng.Intn(4))
+			mask := ^(uint32(1)<<(morton.MaxLevel-uint32(l)) - 1)
+			o := morton.Octant{
+				X:     uint32(rng.Intn(morton.RootLen)) & mask,
+				Y:     uint32(rng.Intn(morton.RootLen)) & mask,
+				Z:     uint32(rng.Intn(morton.RootLen)) & mask,
+				Level: l,
+			}
+			owners := tr.Owners(o, nil)
+			if len(owners) == 0 {
+				t.Fatalf("octant %v has no owners", o)
+			}
+			if !sort.IntsAreSorted(owners) {
+				t.Fatalf("owners not sorted: %v", owners)
+			}
+			// Consecutive owners must be adjacent ranks (contiguous
+			// segment coverage).
+			for i := 1; i < len(owners); i++ {
+				if owners[i] != owners[i-1]+1 {
+					t.Fatalf("owners not contiguous: %v", owners)
+				}
+			}
+		}
+	})
+}

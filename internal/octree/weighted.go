@@ -1,0 +1,54 @@
+package octree
+
+import (
+	"rhea/internal/morton"
+	"rhea/internal/sim"
+)
+
+// PartitionWeighted redistributes leaves so that every rank receives an
+// approximately equal share of the total weight (e.g. per-element solve
+// cost), cutting the space-filling curve at weight boundaries instead of
+// element-count boundaries. Weights must be positive. It returns the
+// destination rank of each previously local leaf, like Partition.
+func (t *Tree) PartitionWeighted(weights []float64) []int {
+	p := int64(t.rank.Size())
+	local := int64(len(t.leaves))
+
+	var localW float64
+	for _, w := range weights {
+		localW += w
+	}
+	totalW := t.rank.Allreduce(localW, sim.OpSum)
+	pre := t.rank.ExScanFloat(localW)
+
+	dest := make([]int, local)
+	byRank := make([][]morton.Octant, p)
+	run := pre
+	for i := int64(0); i < local; i++ {
+		// Assign by the midpoint of the leaf's weight interval.
+		mid := run + weights[i]/2
+		d := int64(mid / totalW * float64(p))
+		if d >= p {
+			d = p - 1
+		}
+		if d < 0 {
+			d = 0
+		}
+		dest[i] = int(d)
+		byRank[d] = append(byRank[d], t.leaves[i])
+		run += weights[i]
+	}
+	out := make([]any, p)
+	nb := make([]int, p)
+	for j := range byRank {
+		out[j] = byRank[j]
+		nb[j] = octantBytes * len(byRank[j])
+	}
+	in := t.rank.Alltoall(out, nb)
+	t.leaves = t.leaves[:0]
+	for i := int64(0); i < p; i++ {
+		t.leaves = append(t.leaves, in[i].([]morton.Octant)...)
+	}
+	t.updateStarts()
+	return dest
+}

@@ -1,0 +1,76 @@
+package octree
+
+import (
+	"testing"
+
+	"rhea/internal/morton"
+	"rhea/internal/sim"
+)
+
+func TestPartitionWeightedBalancesCost(t *testing.T) {
+	sim.Run(4, func(r *sim.Rank) {
+		tr := New(r, 3) // 512 elements
+		// Elements near the origin cost 10x (e.g. high-order or yielding
+		// elements); the rest cost 1.
+		weights := make([]float64, tr.NumLocal())
+		var localW float64
+		for i, o := range tr.Leaves() {
+			weights[i] = 1
+			if o.X < morton.RootLen/4 && o.Y < morton.RootLen/4 {
+				weights[i] = 10
+			}
+			localW += weights[i]
+		}
+		total := r.Allreduce(localW, sim.OpSum)
+		dests := tr.PartitionWeighted(weights)
+		if len(dests) != len(weights) {
+			t.Fatalf("dest map size %d", len(dests))
+		}
+		if err := tr.CheckLocalOrder(); err != nil {
+			t.Error(err)
+		}
+		// Recompute this rank's weight after redistribution.
+		var newW float64
+		for _, o := range tr.Leaves() {
+			w := 1.0
+			if o.X < morton.RootLen/4 && o.Y < morton.RootLen/4 {
+				w = 10
+			}
+			newW += w
+		}
+		share := newW / total * float64(r.Size())
+		// Each rank should hold roughly an equal weight share; the heavy
+		// block spans whole leaves so allow 50% slack.
+		if share < 0.5 || share > 1.5 {
+			t.Errorf("rank %d holds %.2fx the fair weight share", r.ID(), share)
+		}
+		// Element counts, by contrast, should now be uneven (that is the
+		// point): at least one rank deviates from N/p.
+		n := float64(tr.NumLocal())
+		max := r.Allreduce(n, sim.OpMax)
+		min := r.Allreduce(n, sim.OpMin)
+		if max-min < 2 {
+			t.Errorf("weighted partition produced near-uniform counts (%v..%v); weights ignored?", min, max)
+		}
+	})
+}
+
+func TestPartitionWeightedUniformMatchesPlain(t *testing.T) {
+	sim.Run(3, func(r *sim.Rank) {
+		tr := New(r, 2)
+		w := make([]float64, tr.NumLocal())
+		for i := range w {
+			w[i] = 1
+		}
+		tr.PartitionWeighted(w)
+		n := float64(tr.NumLocal())
+		max := r.Allreduce(n, sim.OpMax)
+		min := r.Allreduce(n, sim.OpMin)
+		if max-min > 2 {
+			t.Errorf("uniform weights should balance counts: %v..%v", min, max)
+		}
+		if tr.NumGlobal() != 64 {
+			t.Errorf("lost elements: %d", tr.NumGlobal())
+		}
+	})
+}

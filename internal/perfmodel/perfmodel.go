@@ -1,0 +1,218 @@
+// Package perfmodel is the stand-in for the Ranger supercomputer: a
+// LogGP-style machine model that converts measured per-rank work and
+// exactly-counted communication volumes (from package sim) into modeled
+// wall-clock times at core counts we cannot physically run. The scaling
+// *shapes* of the paper's Figures 6–10 are driven by surface-to-volume
+// ratios and collective depths that our executed algorithms determine;
+// only the constants below come from the model.
+//
+// Two usage styles:
+//
+//   - direct: Machine.Time charges a RankWork ledger at a given core
+//     count;
+//   - calibrated: Fit least-squares fits the three-term law
+//     T = a (N/P) + b (N/P)^(2/3) + c log2(P)
+//     to measured runs at small rank counts, then Predict extrapolates.
+package perfmodel
+
+import "math"
+
+// Machine holds per-core and network constants.
+type Machine struct {
+	// FlopRate is the sustained flop/s per core for the kernel class
+	// being modeled (low-order FEM kernels sustain far below peak).
+	FlopRate float64
+	// Latency is the one-way message latency in seconds.
+	Latency float64
+	// InvBandwidth is seconds per byte of message payload.
+	InvBandwidth float64
+}
+
+// Ranger approximates the 2008 Sun/AMD system at TACC: 2.3 GHz Barcelona
+// cores sustaining ~0.6 GF/s on low-order FEM kernels, ~2.3 us MPI
+// latency, ~1 GB/s per-core effective bandwidth.
+var Ranger = Machine{
+	FlopRate:     0.6e9,
+	Latency:      2.3e-6,
+	InvBandwidth: 1.0 / 1.0e9,
+}
+
+// RankWork is a ledger of one rank's work between two instants.
+type RankWork struct {
+	Flops     float64 // floating-point operations executed
+	Msgs      int     // point-to-point messages sent
+	Bytes     int64   // point-to-point payload bytes
+	CollCalls int     // collective operations participated in
+	CollBytes int64   // bytes contributed to collectives
+}
+
+// Add accumulates another ledger.
+func (w *RankWork) Add(o RankWork) {
+	w.Flops += o.Flops
+	w.Msgs += o.Msgs
+	w.Bytes += o.Bytes
+	w.CollCalls += o.CollCalls
+	w.CollBytes += o.CollBytes
+}
+
+// Time models the wall-clock seconds this rank's ledger costs on the
+// machine in a world of p cores. Collectives are charged as
+// log2(p)-depth trees.
+func (m Machine) Time(w RankWork, p int) float64 {
+	comp := w.Flops / m.FlopRate
+	ptp := float64(w.Msgs)*m.Latency + float64(w.Bytes)*m.InvBandwidth
+	depth := math.Ceil(math.Log2(float64(p)))
+	if depth < 1 {
+		depth = 1
+	}
+	coll := float64(w.CollCalls)*m.Latency*depth + float64(w.CollBytes)*m.InvBandwidth*depth
+	return comp + ptp + coll
+}
+
+// Fit is the calibrated three-term scaling law
+//
+//	T(N, P) = A*(N/P) + B*(N/P)^(2/3) + C*log2(P)
+//
+// whose terms are per-element compute, surface (halo) communication, and
+// collective depth.
+type Fit struct {
+	A, B, C float64
+}
+
+// Sample is one measured run.
+type Sample struct {
+	N int64   // global problem size (elements)
+	P int     // ranks
+	T float64 // measured seconds
+}
+
+// FitSamples least-squares fits the law to measured runs. At least three
+// samples spanning different P are needed; coefficients are clamped to be
+// non-negative (each term is a physical cost).
+func FitSamples(samples []Sample) Fit {
+	// Normal equations for T ~ a x1 + b x2 + c x3.
+	var m [3][3]float64
+	var rhs [3]float64
+	for _, s := range samples {
+		x := terms(s.N, s.P)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				m[i][j] += x[i] * x[j]
+			}
+			rhs[i] += x[i] * s.T
+		}
+	}
+	sol := solve3(m, rhs)
+	for i := range sol {
+		if sol[i] < 0 {
+			sol[i] = 0
+		}
+	}
+	return Fit{A: sol[0], B: sol[1], C: sol[2]}
+}
+
+func terms(n int64, p int) [3]float64 {
+	g := float64(n) / float64(p)
+	l := math.Log2(float64(p))
+	if l < 1 {
+		l = 1
+	}
+	return [3]float64{g, math.Pow(g, 2.0/3.0), l}
+}
+
+// Predict returns the modeled time for a global size N on P ranks.
+func (f Fit) Predict(n int64, p int) float64 {
+	x := terms(n, p)
+	return f.A*x[0] + f.B*x[1] + f.C*x[2]
+}
+
+// Speedup returns Predict(n, base)/Predict(n, p) normalized so that the
+// baseline speedup equals base (the paper's convention of plotting
+// speedup against an ideal line through the baseline).
+func (f Fit) Speedup(n int64, base, p int) float64 {
+	return float64(base) * f.Predict(n, base) / f.Predict(n, p)
+}
+
+// Efficiency returns the weak-scaling parallel efficiency at constant
+// per-rank size g: T(g*1, 1) / T(g*p, p).
+func (f Fit) Efficiency(gPerRank int64, p int) float64 {
+	t1 := f.Predict(gPerRank, 1)
+	tp := f.Predict(gPerRank*int64(p), p)
+	if tp == 0 {
+		return 1
+	}
+	e := t1 / tp
+	if e > 1 {
+		e = 1
+	}
+	return e
+}
+
+// solve3 solves a 3x3 system by Gaussian elimination with pivoting.
+func solve3(m [3][3]float64, b [3]float64) [3]float64 {
+	a := m
+	x := b
+	for c := 0; c < 3; c++ {
+		p := c
+		for r := c + 1; r < 3; r++ {
+			if math.Abs(a[r][c]) > math.Abs(a[p][c]) {
+				p = r
+			}
+		}
+		a[c], a[p] = a[p], a[c]
+		x[c], x[p] = x[p], x[c]
+		if a[c][c] == 0 {
+			continue
+		}
+		for r := c + 1; r < 3; r++ {
+			f := a[r][c] / a[c][c]
+			for k := c; k < 3; k++ {
+				a[r][k] -= f * a[c][k]
+			}
+			x[r] -= f * x[c]
+		}
+	}
+	var out [3]float64
+	for r := 2; r >= 0; r-- {
+		s := x[r]
+		for k := r + 1; k < 3; k++ {
+			s -= a[r][k] * out[k]
+		}
+		if a[r][r] != 0 {
+			out[r] = s / a[r][r]
+		}
+	}
+	return out
+}
+
+// AMGWork models the per-rank cost of one AMG setup plus nv V-cycles on a
+// local problem of n unknowns distributed over p ranks, following the
+// hierarchy structure: levels shrink by ~8x, each level pays a halo
+// exchange ~ (n_l)^(2/3) bytes and the coarse levels pay collective
+// latency. This reproduces the paper's observation (Figs 8, 9) that AMG
+// setup and V-cycle times grow with core count while the flat-cost
+// components stay constant.
+func AMGWork(n int64, nv int, flopsPerUnknown float64) RankWork {
+	var w RankWork
+	levels := 0
+	for sz := n; sz > 32; sz /= 8 {
+		levels++
+	}
+	if levels < 1 {
+		levels = 1
+	}
+	// Setup: strength graph + aggregation + RAP ~ 10x one cycle.
+	w.Flops = float64(n) * flopsPerUnknown * (10 + float64(nv))
+	sz := n
+	for l := 0; l < levels; l++ {
+		halo := int64(8 * math.Pow(float64(sz), 2.0/3.0))
+		w.Msgs += (1 + nv) * 6 // halo exchanges with ~6 neighbors
+		w.Bytes += int64(1+nv) * 6 * halo
+		w.CollCalls += 1 + nv // norm/convergence checks per level
+		sz /= 8
+		if sz < 1 {
+			sz = 1
+		}
+	}
+	return w
+}

@@ -1,0 +1,109 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMachineTimeMonotone(t *testing.T) {
+	w := RankWork{Flops: 1e9, Msgs: 100, Bytes: 1 << 20, CollCalls: 10, CollBytes: 80}
+	t64 := Ranger.Time(w, 64)
+	t4096 := Ranger.Time(w, 4096)
+	if t4096 <= t64 {
+		t.Errorf("collective depth should grow with p: %v vs %v", t64, t4096)
+	}
+	// Compute-only ledger is p-independent.
+	c := RankWork{Flops: 1e9}
+	if Ranger.Time(c, 2) != Ranger.Time(c, 1<<16) {
+		t.Error("pure compute time must not depend on p")
+	}
+}
+
+func TestFitRecoversKnownLaw(t *testing.T) {
+	truth := Fit{A: 2e-6, B: 5e-5, C: 3e-3}
+	var samples []Sample
+	for _, p := range []int{1, 2, 4, 8, 16, 32} {
+		n := int64(100000 * p) // weak scaling samples
+		samples = append(samples, Sample{N: n, P: p, T: truth.Predict(n, p)})
+		n2 := int64(800000) // strong scaling samples
+		samples = append(samples, Sample{N: n2, P: p, T: truth.Predict(n2, p)})
+	}
+	fit := FitSamples(samples)
+	for _, s := range samples {
+		got := fit.Predict(s.N, s.P)
+		if math.Abs(got-s.T)/s.T > 1e-6 {
+			t.Fatalf("fit does not reproduce sample %+v: %v", s, got)
+		}
+	}
+	// Extrapolation matches the truth too.
+	n, p := int64(1<<30), 62464
+	if g, w := fit.Predict(n, p), truth.Predict(n, p); math.Abs(g-w)/w > 1e-3 {
+		t.Errorf("extrapolation off: %v vs %v", g, w)
+	}
+}
+
+func TestSpeedupShape(t *testing.T) {
+	f := Fit{A: 1e-6, B: 1e-5, C: 1e-3}
+	n := int64(32 * 1000000)
+	s256 := f.Speedup(n, 256, 256)
+	if math.Abs(s256-256) > 1e-9 {
+		t.Errorf("baseline speedup = %v", s256)
+	}
+	s512 := f.Speedup(n, 256, 512)
+	if s512 <= 256 || s512 > 512 {
+		t.Errorf("speedup at 512 = %v", s512)
+	}
+	// Saturation at extreme core counts: speedup grows sublinearly.
+	s64k := f.Speedup(n, 256, 65536)
+	ideal := 65536.0
+	if s64k >= ideal {
+		t.Errorf("no saturation: %v", s64k)
+	}
+}
+
+func TestEfficiencyDecreasesButBounded(t *testing.T) {
+	f := Fit{A: 1e-6, B: 1e-5, C: 5e-4}
+	prev := 1.0
+	for _, p := range []int{1, 16, 256, 4096, 62464} {
+		e := f.Efficiency(131000, p)
+		if e > prev+1e-12 {
+			t.Errorf("efficiency increased at p=%d: %v > %v", p, e, prev)
+		}
+		if e <= 0 || e > 1 {
+			t.Errorf("efficiency out of range at p=%d: %v", p, e)
+		}
+		prev = e
+	}
+}
+
+func TestAMGWorkGrowsWithCycles(t *testing.T) {
+	w1 := AMGWork(1<<20, 10, 50)
+	w2 := AMGWork(1<<20, 160, 50)
+	if w2.Flops <= w1.Flops || w2.Msgs <= w1.Msgs {
+		t.Error("more V-cycles must cost more")
+	}
+	// Modeled AMG time grows with core count (collective depth) — the
+	// Figs 8/9 shape.
+	t64 := Ranger.Time(w2, 64)
+	t16k := Ranger.Time(w2, 16384)
+	if t16k <= t64 {
+		t.Errorf("AMG time should grow with cores: %v vs %v", t64, t16k)
+	}
+}
+
+func TestSolve3(t *testing.T) {
+	m := [3][3]float64{{2, 1, 0}, {1, 3, 1}, {0, 1, 4}}
+	want := [3]float64{1, -2, 3}
+	var b [3]float64
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			b[i] += m[i][j] * want[j]
+		}
+	}
+	got := solve3(m, b)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("solve3: %v want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,488 @@
+// Package rhea is the mantle-convection application of the paper (§II,
+// §VI): the Boussinesq system
+//
+//	div u = 0
+//	grad p - div( eta(T,u) (grad u + grad u^T) ) = Ra T e_z
+//	dT/dt + u . grad T - Laplace T = gamma
+//
+// solved by operator splitting — an explicit SUPG advection–diffusion
+// step for the temperature followed by a variable-viscosity Stokes solve
+// with Picard iteration for the strain-rate-dependent (yielding)
+// viscosity — on a dynamically adapted octree mesh. The Adapt method runs
+// the complete paper pipeline (MarkElements, CoarsenTree, RefineTree,
+// BalanceTree, field projection, PartitionTree, TransferFields,
+// ExtractMesh) and records per-function wall-clock timings in the same
+// breakdown as the paper's Figures 8 and 10.
+package rhea
+
+import (
+	"math"
+	"time"
+
+	"rhea/internal/advect"
+	"rhea/internal/amg"
+	"rhea/internal/errind"
+	"rhea/internal/fem"
+	"rhea/internal/field"
+	"rhea/internal/krylov"
+	"rhea/internal/la"
+	"rhea/internal/mesh"
+	"rhea/internal/morton"
+	"rhea/internal/octree"
+	"rhea/internal/sim"
+	"rhea/internal/stokes"
+)
+
+// ViscosityLaw maps temperature, nondimensional depth coordinate z in
+// [0,1] (0 = bottom, 1 = surface) and the second invariant of the
+// deviatoric strain rate to a viscosity.
+type ViscosityLaw func(T, z, strainII float64) float64
+
+// TemperatureDependent returns the Newtonian law eta0 * exp(-E T).
+func TemperatureDependent(eta0, E float64) ViscosityLaw {
+	return func(T, _, _ float64) float64 { return eta0 * math.Exp(-E*T) }
+}
+
+// YieldingLaw is the three-layer viscosity of the paper's §VI:
+//
+//	z > 0.90        min( 10  exp(-6.9 T), sigma_y / (2 edot) )
+//	0.90 >= z > 0.77       0.8 exp(-6.9 T)
+//	z <= 0.77              50  exp(-6.9 T)
+//
+// simulating a plastically yielding lithosphere, an aesthenosphere and a
+// stiff lower mantle.
+func YieldingLaw(sigmaY float64) ViscosityLaw {
+	return func(T, z, e2 float64) float64 {
+		switch {
+		case z > 0.9:
+			v := 10 * math.Exp(-6.9*T)
+			if sigmaY > 0 && e2 > 1e-300 {
+				if y := sigmaY / (2 * e2); y < v {
+					v = y
+				}
+			}
+			return v
+		case z > 0.77:
+			return 0.8 * math.Exp(-6.9*T)
+		default:
+			return 50 * math.Exp(-6.9*T)
+		}
+	}
+}
+
+// Config sets up a simulation.
+type Config struct {
+	Dom          fem.Domain
+	Ra           float64 // Rayleigh number
+	InternalHeat float64 // gamma
+	InitialTemp  func(x [3]float64) float64
+	Visc         ViscosityLaw
+	ViscMin      float64 // clamp (default 1e-6)
+	ViscMax      float64 // clamp (default 1e6)
+
+	BaseLevel   uint8 // initial uniform refinement
+	MinLevel    uint8
+	MaxLevel    uint8
+	TargetElems int64 // element budget for MarkElements
+	InitAdapt   int   // initial adaptation rounds (default 2)
+
+	AdaptEvery int     // time steps between adaptations (paper: 16)
+	CFL        float64 // advective CFL number (default 0.5)
+	Picard     int     // Picard iterations per Stokes solve (default 2)
+	MinresTol  float64 // default 1e-6
+	MinresMax  int     // default 500
+	AMG        amg.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.ViscMin == 0 {
+		c.ViscMin = 1e-6
+	}
+	if c.ViscMax == 0 {
+		c.ViscMax = 1e6
+	}
+	if c.AdaptEvery == 0 {
+		c.AdaptEvery = 16
+	}
+	if c.CFL == 0 {
+		c.CFL = 0.5
+	}
+	if c.Picard == 0 {
+		c.Picard = 2
+	}
+	if c.MinresTol == 0 {
+		c.MinresTol = 1e-6
+	}
+	if c.MinresMax == 0 {
+		c.MinresMax = 500
+	}
+	if c.InitAdapt == 0 {
+		c.InitAdapt = 2
+	}
+	if c.Visc == nil {
+		c.Visc = func(_, _, _ float64) float64 { return 1 }
+	}
+	if c.TargetElems == 0 {
+		c.TargetElems = 1 << (3 * c.BaseLevel)
+	}
+	return c
+}
+
+// Timings is the per-function wall-clock breakdown of the paper's Figure
+// 10 (seconds, accumulated on this rank).
+type Timings struct {
+	NewTree        float64
+	CoarsenRefine  float64 // CoarsenTree + RefineTree
+	BalanceTree    float64
+	PartitionTree  float64
+	ExtractMesh    float64
+	InterpolateFld float64 // InterpolateFields (projection)
+	TransferFld    float64 // TransferFields (repartition shipping)
+	MarkElements   float64
+	TimeIntegrate  float64 // explicit advection-diffusion stepping
+	StokesAssemble float64 // operator + preconditioner (AMG setup) build
+	MINRES         float64 // Krylov iterations including V-cycles
+}
+
+// AMRTotal sums the adaptivity-related components.
+func (t Timings) AMRTotal() float64 {
+	return t.CoarsenRefine + t.BalanceTree + t.PartitionTree + t.ExtractMesh +
+		t.InterpolateFld + t.TransferFld + t.MarkElements
+}
+
+// SolveTotal sums PDE solution components.
+func (t Timings) SolveTotal() float64 {
+	return t.TimeIntegrate + t.StokesAssemble + t.MINRES
+}
+
+// AdaptStats describes one mesh adaptation step (paper Fig 5).
+type AdaptStats struct {
+	Refined      int64 // elements replaced by children
+	Coarsened    int64 // elements removed by family merging (8 per family)
+	BalanceAdded int64 // elements created by 2:1 balance
+	Unchanged    int64
+	ElementsPrev int64
+	ElementsNow  int64
+	LevelCounts  []int64
+}
+
+// Sim is a running mantle-convection simulation on one rank.
+type Sim struct {
+	Cfg  Config
+	Rank *sim.Rank
+	Tree *octree.Tree
+	Mesh *mesh.Mesh
+
+	T *la.Vec    // temperature (nodal)
+	U [3]*la.Vec // velocity components (nodal)
+
+	Times   Timings
+	Step    int
+	TimeNow float64
+
+	lastMinres krylov.Result
+}
+
+// New builds the initial adapted mesh and temperature field (collective).
+func New(r *sim.Rank, cfg Config) *Sim {
+	cfg = cfg.withDefaults()
+	s := &Sim{Cfg: cfg, Rank: r}
+
+	t0 := time.Now()
+	s.Tree = octree.New(r, cfg.BaseLevel)
+	s.Times.NewTree += time.Since(t0).Seconds()
+
+	s.extract()
+	s.setInitialTemp()
+
+	// Initial solution-adaptive refinement rounds.
+	for i := 0; i < cfg.InitAdapt; i++ {
+		s.Adapt()
+		s.setInitialTemp()
+	}
+	return s
+}
+
+func (s *Sim) extract() {
+	t0 := time.Now()
+	s.Mesh = mesh.Extract(s.Tree)
+	s.Times.ExtractMesh += time.Since(t0).Seconds()
+	// Velocity defaults to zero on the new mesh.
+	for c := 0; c < 3; c++ {
+		s.U[c] = la.NewVec(s.Mesh.Layout())
+	}
+}
+
+func (s *Sim) setInitialTemp() {
+	s.T = la.NewVec(s.Mesh.Layout())
+	for i, pos := range s.Mesh.OwnedPos {
+		s.T.Data[i] = s.Cfg.InitialTemp(s.Cfg.Dom.Coord(pos))
+	}
+}
+
+// TempBC returns the temperature boundary condition: T=1 at the bottom,
+// T=0 at the surface, insulated sides.
+func (s *Sim) TempBC() fem.ScalarBC {
+	top := s.Cfg.Dom.Box[2]
+	return func(x [3]float64) (float64, bool) {
+		if x[2] == 0 {
+			return 1, true
+		}
+		if x[2] == top {
+			return 0, true
+		}
+		return 0, false
+	}
+}
+
+// Adapt runs one full mesh adaptation pipeline and carries the
+// temperature and velocity fields to the new mesh (collective).
+func (s *Sim) Adapt() AdaptStats {
+	st := AdaptStats{ElementsPrev: s.Tree.NumGlobal()}
+
+	t0 := time.Now()
+	eta := errind.Variation(s.Mesh, s.T)
+	marks := errind.MarkElements(s.Tree, eta, s.Cfg.TargetElems, errind.Options{
+		MaxLevel: s.Cfg.MaxLevel, MinLevel: s.Cfg.MinLevel,
+	})
+	s.Times.MarkElements += time.Since(t0).Seconds()
+
+	// Snapshot fields as element data on the old mesh.
+	t0 = time.Now()
+	dataT := field.FromNodal(s.Mesh, s.T)
+	var dataU [3]field.ElemData
+	for c := 0; c < 3; c++ {
+		dataU[c] = field.FromNodal(s.Mesh, s.U[c])
+	}
+	oldLeaves := append([]morton.Octant(nil), s.Tree.Leaves()...)
+	s.Times.InterpolateFld += time.Since(t0).Seconds()
+
+	// Coarsen + refine (marks for refinement must be re-derived on the
+	// post-coarsening layout, coarsened regions are never refine-marked
+	// because the mark sets are disjoint).
+	t0 = time.Now()
+	nCoarse := s.Tree.CoarsenMarked(marks.Coarsen)
+	// Rebuild refine marks on the new layout by octant identity.
+	refSet := make(map[morton.Octant]struct{})
+	for i, m := range marks.Refine {
+		if m {
+			refSet[oldLeaves[i]] = struct{}{}
+		}
+	}
+	ref2 := make([]bool, s.Tree.NumLocal())
+	for i, o := range s.Tree.Leaves() {
+		if _, ok := refSet[o]; ok {
+			ref2[i] = true
+		}
+	}
+	nRef := s.Tree.RefineMarked(ref2)
+	s.Times.CoarsenRefine += time.Since(t0).Seconds()
+
+	t0 = time.Now()
+	added, _ := s.Tree.Balance()
+	s.Times.BalanceTree += time.Since(t0).Seconds()
+
+	// Project fields onto the adapted (still old-partition) leaves.
+	t0 = time.Now()
+	dataT = field.ProjectData(oldLeaves, s.Tree.Leaves(), dataT)
+	for c := 0; c < 3; c++ {
+		dataU[c] = field.ProjectData(oldLeaves, s.Tree.Leaves(), dataU[c])
+	}
+	s.Times.InterpolateFld += time.Since(t0).Seconds()
+
+	t0 = time.Now()
+	dests := s.Tree.Partition()
+	s.Times.PartitionTree += time.Since(t0).Seconds()
+
+	t0 = time.Now()
+	dataT = field.Transfer(s.Rank, dests, dataT)
+	for c := 0; c < 3; c++ {
+		dataU[c] = field.Transfer(s.Rank, dests, dataU[c])
+	}
+	s.Times.TransferFld += time.Since(t0).Seconds()
+
+	s.extract()
+
+	t0 = time.Now()
+	s.T = field.ToNodal(s.Mesh, dataT)
+	for c := 0; c < 3; c++ {
+		s.U[c] = field.ToNodal(s.Mesh, dataU[c])
+	}
+	// Re-impose temperature boundary values after projection.
+	bc := s.TempBC()
+	for i, pos := range s.Mesh.OwnedPos {
+		if v, is := bc(s.Cfg.Dom.Coord(pos)); is {
+			s.T.Data[i] = v
+		}
+	}
+	s.Times.InterpolateFld += time.Since(t0).Seconds()
+
+	st.Refined = s.Rank.AllreduceInt64(int64(nRef))
+	st.Coarsened = s.Rank.AllreduceInt64(int64(8 * nCoarse))
+	st.BalanceAdded = s.Rank.AllreduceInt64(int64(added))
+	st.ElementsNow = s.Tree.NumGlobal()
+	st.Unchanged = st.ElementsPrev - st.Refined - st.Coarsened
+	st.LevelCounts = s.Tree.LevelCounts()
+	return st
+}
+
+// ElementViscosity evaluates the viscosity law per local element from the
+// current temperature and velocity fields (collective).
+func (s *Sim) ElementViscosity() []float64 {
+	tvals := s.Mesh.GatherReferenced(s.T)
+	var uvals [3]map[int64]float64
+	for c := 0; c < 3; c++ {
+		uvals[c] = s.Mesh.GatherReferenced(s.U[c])
+	}
+	out := make([]float64, len(s.Mesh.Leaves))
+	xi := [3]float64{0.5, 0.5, 0.5}
+	for ei, leaf := range s.Mesh.Leaves {
+		h := s.Cfg.Dom.ElemSize(leaf)
+		var Tc float64
+		var grad [3][3]float64
+		for c := 0; c < 8; c++ {
+			tv := s.Mesh.CornerValue(tvals, ei, c)
+			Tc += tv / 8
+			sg := fem.ShapeGrad(c, xi)
+			for d := 0; d < 3; d++ {
+				co := &s.Mesh.Corners[ei][c]
+				var uv float64
+				for k := 0; k < int(co.N); k++ {
+					uv += co.W[k] * uvals[d][co.GID[k]]
+				}
+				for j := 0; j < 3; j++ {
+					grad[d][j] += uv * sg[j] / h[j]
+				}
+			}
+		}
+		// Second invariant of the strain rate tensor.
+		var e2 float64
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				eij := 0.5 * (grad[i][j] + grad[j][i])
+				e2 += eij * eij
+			}
+		}
+		e2 = math.Sqrt(0.5 * e2)
+		zc := s.Cfg.Dom.ElemCenter(leaf)[2] / s.Cfg.Dom.Box[2]
+		v := s.Cfg.Visc(Tc, zc, e2)
+		if v < s.Cfg.ViscMin {
+			v = s.Cfg.ViscMin
+		}
+		if v > s.Cfg.ViscMax {
+			v = s.Cfg.ViscMax
+		}
+		out[ei] = v
+	}
+	return out
+}
+
+// buoyancy builds the Ra*T*e_z body force at element corners.
+func (s *Sim) buoyancy() [][8][3]float64 {
+	tvals := s.Mesh.GatherReferenced(s.T)
+	out := make([][8][3]float64, len(s.Mesh.Leaves))
+	for ei := range s.Mesh.Leaves {
+		for c := 0; c < 8; c++ {
+			out[ei][c] = [3]float64{0, 0, s.Cfg.Ra * s.Mesh.CornerValue(tvals, ei, c)}
+		}
+	}
+	return out
+}
+
+// SolveStokes updates the velocity from the current temperature with
+// Picard iteration on the strain-rate-dependent viscosity (collective).
+// It returns the last MINRES result.
+func (s *Sim) SolveStokes() krylov.Result {
+	bc := stokes.FreeSlip(s.Cfg.Dom.Box)
+	var res krylov.Result
+	for pic := 0; pic < s.Cfg.Picard; pic++ {
+		t0 := time.Now()
+		eta := s.ElementViscosity()
+		force := s.buoyancy()
+		sys := stokes.Assemble(s.Mesh, s.Cfg.Dom, eta, force, bc, stokes.Options{AMG: s.Cfg.AMG})
+		s.Times.StokesAssemble += time.Since(t0).Seconds()
+
+		t0 = time.Now()
+		x := la.NewVec(sys.Layout)
+		// Warm start from the current velocity.
+		for i := 0; i < s.Mesh.NumOwned; i++ {
+			for c := 0; c < 3; c++ {
+				x.Data[4*i+c] = s.U[c].Data[i]
+			}
+		}
+		res = sys.Solve(x, s.Cfg.MinresTol, s.Cfg.MinresMax)
+		s.Times.MINRES += time.Since(t0).Seconds()
+		u, _ := sys.SplitSolution(x)
+		s.U = u
+	}
+	s.lastMinres = res
+	return res
+}
+
+// LastMinres returns the most recent Stokes solve result.
+func (s *Sim) LastMinres() krylov.Result { return s.lastMinres }
+
+// AdvectSteps advances the temperature n explicit steps with the current
+// velocity field, returning the time step used (collective).
+func (s *Sim) AdvectSteps(n int) float64 {
+	t0 := time.Now()
+	vel := s.elemVelocity()
+	var src func(x [3]float64) float64
+	if s.Cfg.InternalHeat != 0 {
+		g := s.Cfg.InternalHeat
+		src = func(_ [3]float64) float64 { return g }
+	}
+	p := advect.New(s.Mesh, s.Cfg.Dom, 1 /* nondimensional kappa */, vel, src, s.TempBC())
+	dt := p.StableDt(s.Cfg.CFL)
+	for i := 0; i < n; i++ {
+		p.Step(s.T, dt)
+		s.TimeNow += dt
+		s.Step++
+	}
+	s.Times.TimeIntegrate += time.Since(t0).Seconds()
+	return dt
+}
+
+// elemVelocity samples the nodal velocity at element corners.
+func (s *Sim) elemVelocity() [][8][3]float64 {
+	var uvals [3]map[int64]float64
+	for c := 0; c < 3; c++ {
+		uvals[c] = s.Mesh.GatherReferenced(s.U[c])
+	}
+	out := make([][8][3]float64, len(s.Mesh.Leaves))
+	for ei := range s.Mesh.Leaves {
+		for c := 0; c < 8; c++ {
+			co := &s.Mesh.Corners[ei][c]
+			for d := 0; d < 3; d++ {
+				var v float64
+				for k := 0; k < int(co.N); k++ {
+					v += co.W[k] * uvals[d][co.GID[k]]
+				}
+				out[ei][c][d] = v
+			}
+		}
+	}
+	return out
+}
+
+// RunCycle performs one paper-style simulation cycle: a Stokes solve,
+// AdaptEvery explicit transport steps, then a mesh adaptation. It returns
+// the adaptation statistics.
+func (s *Sim) RunCycle() AdaptStats {
+	s.SolveStokes()
+	s.AdvectSteps(s.Cfg.AdaptEvery)
+	return s.Adapt()
+}
+
+// MaxVelocity returns the global maximum velocity magnitude (collective).
+func (s *Sim) MaxVelocity() float64 {
+	var m float64
+	for i := 0; i < s.Mesh.NumOwned; i++ {
+		v := math.Sqrt(s.U[0].Data[i]*s.U[0].Data[i] +
+			s.U[1].Data[i]*s.U[1].Data[i] + s.U[2].Data[i]*s.U[2].Data[i])
+		if v > m {
+			m = v
+		}
+	}
+	return s.Rank.Allreduce(m, sim.OpMax)
+}

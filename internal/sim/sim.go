@@ -1,0 +1,425 @@
+// Package sim provides a simulated message-passing runtime: the stand-in
+// for MPI on the Ranger supercomputer used in the paper. Ranks are
+// goroutines within one process and the network is Go channels/queues, so
+// every distributed algorithm in this repository actually executes its
+// true communication pattern (real data moves between ranks) while the
+// per-rank message and byte counts are recorded for the performance model.
+//
+// The programming model is SPMD: World.Run launches P rank functions that
+// communicate through point-to-point Send/Recv with (source, tag)
+// matching, and through collectives (Barrier, Allgather, Allreduce,
+// Alltoallv, ExScan) that every rank must call in the same order.
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Stats records the communication activity of one rank. Collectives are
+// implemented over point-to-point messages via rank 0; the model fields
+// (CollectiveCalls) let the performance model charge them as
+// log2(P)-depth tree operations instead.
+type Stats struct {
+	MsgsSent        int   // point-to-point messages sent (user + collective transport)
+	BytesSent       int64 // bytes in those messages
+	UserMsgs        int   // point-to-point messages from user code only
+	UserBytes       int64 // bytes in user point-to-point messages
+	CollectiveCalls int   // number of collective operations participated in
+	CollectiveBytes int64 // bytes contributed to collectives
+}
+
+type message struct {
+	from, tag int
+	data      any
+	nbytes    int64
+}
+
+// mailbox is an unbounded, (source,tag)-matched message queue.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m message) {
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// take blocks until a message with matching source and tag is available
+// and removes it (FIFO among matching messages).
+func (mb *mailbox) take(from, tag int) message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.queue {
+			if m.from == from && m.tag == tag {
+				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				return m
+			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+// World is a communicator spanning a fixed number of ranks.
+type World struct {
+	size  int
+	boxes []*mailbox
+	stats []Stats
+	statm []sync.Mutex
+}
+
+// NewWorld creates a communicator with the given number of ranks.
+func NewWorld(size int) *World {
+	if size < 1 {
+		panic(fmt.Sprintf("sim: world size %d < 1", size))
+	}
+	w := &World{size: size}
+	w.boxes = make([]*mailbox, size)
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	w.stats = make([]Stats, size)
+	w.statm = make([]sync.Mutex, size)
+	return w
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Run executes fn on every rank concurrently and returns when all ranks
+// have finished. It returns the per-rank communication statistics.
+func (w *World) Run(fn func(*Rank)) []Stats {
+	var wg sync.WaitGroup
+	wg.Add(w.size)
+	for i := 0; i < w.size; i++ {
+		go func(id int) {
+			defer wg.Done()
+			fn(&Rank{world: w, id: id})
+		}(i)
+	}
+	wg.Wait()
+	out := make([]Stats, w.size)
+	copy(out, w.stats)
+	return out
+}
+
+// Run is shorthand for NewWorld(size).Run(fn).
+func Run(size int, fn func(*Rank)) []Stats {
+	return NewWorld(size).Run(fn)
+}
+
+// Rank is one process in the simulated world. A Rank value is only valid
+// inside the goroutine World.Run created it for.
+type Rank struct {
+	world   *World
+	id      int
+	collSeq int // collective sequence number; all ranks advance in lockstep
+}
+
+// ID returns this rank's index in [0, Size).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.world.size }
+
+// Stats returns a snapshot of this rank's communication statistics.
+func (r *Rank) Stats() Stats {
+	w := r.world
+	w.statm[r.id].Lock()
+	defer w.statm[r.id].Unlock()
+	return w.stats[r.id]
+}
+
+// Tags at or above collTagBase are reserved for collective transport.
+const collTagBase = 1 << 24
+
+// Send delivers data to rank `to` with the given tag. nbytes is the
+// modeled wire size of the payload, recorded in Stats. Send never blocks.
+func (r *Rank) Send(to, tag int, data any, nbytes int) {
+	if tag >= collTagBase {
+		panic("sim: user tag collides with collective tag space")
+	}
+	r.send(to, tag, data, int64(nbytes))
+	w := r.world
+	w.statm[r.id].Lock()
+	w.stats[r.id].UserMsgs++
+	w.stats[r.id].UserBytes += int64(nbytes)
+	w.statm[r.id].Unlock()
+}
+
+func (r *Rank) send(to, tag int, data any, nbytes int64) {
+	w := r.world
+	w.boxes[to].put(message{from: r.id, tag: tag, data: data, nbytes: nbytes})
+	w.statm[r.id].Lock()
+	w.stats[r.id].MsgsSent++
+	w.stats[r.id].BytesSent += nbytes
+	w.statm[r.id].Unlock()
+}
+
+// Recv blocks until a message from rank `from` with the given tag arrives
+// and returns its payload.
+func (r *Rank) Recv(from, tag int) any {
+	return r.world.boxes[r.id].take(from, tag).data
+}
+
+func (r *Rank) recvColl(from, tag int) any {
+	return r.world.boxes[r.id].take(from, tag).data
+}
+
+// nextCollTag returns a fresh tag for the next collective. Correct under
+// the SPMD requirement that all ranks invoke collectives in program order.
+func (r *Rank) nextCollTag() int {
+	t := collTagBase + r.collSeq
+	r.collSeq++
+	return t
+}
+
+func (r *Rank) countCollective(nbytes int64) {
+	w := r.world
+	w.statm[r.id].Lock()
+	w.stats[r.id].CollectiveCalls++
+	w.stats[r.id].CollectiveBytes += nbytes
+	w.statm[r.id].Unlock()
+}
+
+// Barrier blocks until every rank has entered the barrier.
+func (r *Rank) Barrier() {
+	tag := r.nextCollTag()
+	r.countCollective(0)
+	if r.id == 0 {
+		for i := 1; i < r.Size(); i++ {
+			r.recvColl(i, tag)
+		}
+		for i := 1; i < r.Size(); i++ {
+			r.send(i, tag, nil, 0)
+		}
+	} else {
+		r.send(0, tag, nil, 0)
+		r.recvColl(0, tag)
+	}
+}
+
+// gatherRoot collects one payload per rank at rank 0 and returns the
+// slice (indexed by rank) on rank 0, nil elsewhere.
+func (r *Rank) gatherRoot(tag int, data any, nbytes int64) []any {
+	if r.id == 0 {
+		all := make([]any, r.Size())
+		all[0] = data
+		for i := 1; i < r.Size(); i++ {
+			all[i] = r.recvColl(i, tag)
+		}
+		return all
+	}
+	r.send(0, tag, data, nbytes)
+	return nil
+}
+
+// bcastRoot distributes rank 0's payload to every rank and returns it.
+func (r *Rank) bcastRoot(tag int, data any, nbytes int64) any {
+	if r.id == 0 {
+		for i := 1; i < r.Size(); i++ {
+			r.send(i, tag, data, nbytes)
+		}
+		return data
+	}
+	return r.recvColl(0, tag)
+}
+
+// AllgatherInt64 gathers one int64 from every rank; the result is indexed
+// by rank. This mirrors the paper's MPI_Allgather of one long integer per
+// core used to exchange leaf ranges.
+func (r *Rank) AllgatherInt64(v int64) []int64 {
+	tag := r.nextCollTag()
+	r.countCollective(8)
+	all := r.gatherRoot(tag, v, 8)
+	var out []int64
+	if r.id == 0 {
+		out = make([]int64, r.Size())
+		for i, a := range all {
+			out[i] = a.(int64)
+		}
+	}
+	res := r.bcastRoot(tag, out, int64(8*r.Size())).([]int64)
+	cp := make([]int64, len(res))
+	copy(cp, res)
+	return cp
+}
+
+// AllgatherUint64 gathers one uint64 from every rank.
+func (r *Rank) AllgatherUint64(v uint64) []uint64 {
+	all := r.AllgatherInt64(int64(v))
+	out := make([]uint64, len(all))
+	for i, a := range all {
+		out[i] = uint64(a)
+	}
+	return out
+}
+
+// ReduceOp is an associative, commutative reduction on float64.
+type ReduceOp func(a, b float64) float64
+
+// Predefined reductions.
+var (
+	OpSum ReduceOp = func(a, b float64) float64 { return a + b }
+	OpMax ReduceOp = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	OpMin ReduceOp = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Allreduce combines one float64 per rank with op and returns the result
+// on every rank.
+func (r *Rank) Allreduce(v float64, op ReduceOp) float64 {
+	tag := r.nextCollTag()
+	r.countCollective(8)
+	all := r.gatherRoot(tag, v, 8)
+	var acc float64
+	if r.id == 0 {
+		acc = all[0].(float64)
+		for i := 1; i < len(all); i++ {
+			acc = op(acc, all[i].(float64))
+		}
+	}
+	return r.bcastRoot(tag, acc, 8).(float64)
+}
+
+// AllreduceInt64 combines one int64 per rank by summation.
+func (r *Rank) AllreduceInt64(v int64) int64 {
+	tag := r.nextCollTag()
+	r.countCollective(8)
+	all := r.gatherRoot(tag, v, 8)
+	var acc int64
+	if r.id == 0 {
+		for _, a := range all {
+			acc += a.(int64)
+		}
+	}
+	return r.bcastRoot(tag, acc, 8).(int64)
+}
+
+// AllreduceVec sums float64 vectors elementwise across ranks. All ranks
+// must pass slices of the same length; every rank receives the total.
+func (r *Rank) AllreduceVec(v []float64) []float64 {
+	tag := r.nextCollTag()
+	r.countCollective(int64(8 * len(v)))
+	all := r.gatherRoot(tag, v, int64(8*len(v)))
+	var acc []float64
+	if r.id == 0 {
+		acc = make([]float64, len(v))
+		for _, a := range all {
+			av := a.([]float64)
+			for i := range acc {
+				acc[i] += av[i]
+			}
+		}
+	}
+	res := r.bcastRoot(tag, acc, int64(8*len(v))).([]float64)
+	out := make([]float64, len(res))
+	copy(out, res)
+	return out
+}
+
+// ExScan returns the exclusive prefix sum of v across ranks: rank i
+// receives sum of v over ranks 0..i-1 (0 on rank 0).
+func (r *Rank) ExScan(v int64) int64 {
+	tag := r.nextCollTag()
+	r.countCollective(8)
+	all := r.gatherRoot(tag, v, 8)
+	var pre []int64
+	if r.id == 0 {
+		pre = make([]int64, r.Size())
+		var run int64
+		for i := 0; i < r.Size(); i++ {
+			pre[i] = run
+			run += all[i].(int64)
+		}
+	}
+	res := r.bcastRoot(tag, pre, int64(8*r.Size())).([]int64)
+	return res[r.id]
+}
+
+// ExScanFloat returns the exclusive prefix sum of v across ranks for
+// float64 values (0 on rank 0).
+func (r *Rank) ExScanFloat(v float64) float64 {
+	tag := r.nextCollTag()
+	r.countCollective(8)
+	all := r.gatherRoot(tag, v, 8)
+	var pre []float64
+	if r.id == 0 {
+		pre = make([]float64, r.Size())
+		var run float64
+		for i := 0; i < r.Size(); i++ {
+			pre[i] = run
+			run += all[i].(float64)
+		}
+	}
+	res := r.bcastRoot(tag, pre, int64(8*r.Size())).([]float64)
+	return res[r.id]
+}
+
+// Bcast distributes root's payload to every rank. nbytes is charged only
+// on the root.
+func (r *Rank) Bcast(root int, data any, nbytes int) any {
+	tag := r.nextCollTag()
+	r.countCollective(int64(nbytes))
+	if r.id == root {
+		for i := 0; i < r.Size(); i++ {
+			if i != root {
+				r.send(i, tag, data, int64(nbytes))
+			}
+		}
+		return data
+	}
+	return r.recvColl(root, tag)
+}
+
+// Alltoall exchanges one payload between every pair of ranks: out[j] is
+// sent to rank j, and the returned slice holds in[i] received from rank i.
+// nbytes[j] is the modeled size of out[j]. out[r.ID()] is returned in
+// place without transport.
+func (r *Rank) Alltoall(out []any, nbytes []int) []any {
+	if len(out) != r.Size() {
+		panic("sim: Alltoall payload count != world size")
+	}
+	tag := r.nextCollTag()
+	var total int64
+	for j, d := range out {
+		if j == r.id {
+			continue
+		}
+		nb := int64(0)
+		if nbytes != nil {
+			nb = int64(nbytes[j])
+		}
+		total += nb
+		r.send(j, tag, d, nb)
+	}
+	r.countCollective(total)
+	in := make([]any, r.Size())
+	in[r.id] = out[r.id]
+	for i := 0; i < r.Size(); i++ {
+		if i != r.id {
+			in[i] = r.recvColl(i, tag)
+		}
+	}
+	return in
+}

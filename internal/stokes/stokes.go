@@ -1,0 +1,384 @@
+// Package stokes implements the paper's variable-viscosity Stokes solver
+// (§III): the stabilized equal-order Q1–Q1 discretization of
+//
+//	-div( eta (grad u + grad u^T) ) + grad p = f
+//	 div u                                   = 0  (stabilized)
+//
+// assembled as one symmetric saddle-point matrix, solved by preconditioned
+// MINRES with the block-diagonal preconditioner
+//
+//	P = diag( A~ , S~ )
+//
+// where A~ is a variable-viscosity discrete vector Laplacian approximated
+// by one AMG V-cycle per component, and S~ is the inverse-viscosity-
+// weighted lumped pressure mass matrix, spectrally equivalent to the
+// Schur complement.
+//
+// Degrees of freedom are interleaved per node: dof(g,c) = 4 g + c with
+// c = 0,1,2 the velocity components and c = 3 the pressure. Because node
+// ids are contiguous per rank, so are dof blocks.
+package stokes
+
+import (
+	"math"
+
+	"rhea/internal/amg"
+	"rhea/internal/fem"
+	"rhea/internal/krylov"
+	"rhea/internal/la"
+	"rhea/internal/mesh"
+	"rhea/internal/sim"
+)
+
+// VelBC prescribes velocity Dirichlet data per component: fixed[i]
+// constrains component i to vals[i] at the given physical position.
+type VelBC func(x [3]float64) (fixed [3]bool, vals [3]float64)
+
+// FreeSlip returns the free-slip (no-penetration) condition on the
+// boundary of the box: the normal velocity component vanishes on each
+// face, tangential components are unconstrained.
+func FreeSlip(box [3]float64) VelBC {
+	return func(x [3]float64) (fixed [3]bool, vals [3]float64) {
+		for i := 0; i < 3; i++ {
+			if x[i] == 0 || x[i] == box[i] {
+				fixed[i] = true
+			}
+		}
+		return
+	}
+}
+
+// NoSlip fixes all velocity components to zero on the boundary.
+func NoSlip(box [3]float64) VelBC {
+	return func(x [3]float64) (fixed [3]bool, vals [3]float64) {
+		for i := 0; i < 3; i++ {
+			if x[i] == 0 || x[i] == box[i] {
+				return [3]bool{true, true, true}, vals
+			}
+		}
+		return
+	}
+}
+
+// System is an assembled Stokes problem plus its preconditioner.
+type System struct {
+	M      *mesh.Mesh
+	Dom    fem.Domain
+	Layout *la.Layout // 4N dof layout
+	A      *la.Mat    // coupled saddle-point operator
+	B      *la.Vec    // right-hand side
+
+	velAMG   [3]krylov.Operator // AMG V-cycle per velocity component
+	schurInv *la.Vec            // nodal inverse of S~ diagonal
+	nOwned   int
+
+	// work vectors for the preconditioner (node layout)
+	xc, yc *la.Vec
+}
+
+// Options tunes assembly and preconditioning.
+type Options struct {
+	AMG amg.Options
+	// LocalAMG selects per-rank block-Jacobi AMG hierarchies for the
+	// velocity blocks instead of the default globally consistent
+	// (redundant) hierarchy. Cheaper setup, but Krylov iteration counts
+	// then grow with the rank count — see the ablation benchmarks.
+	LocalAMG bool
+}
+
+// Assemble builds the Stokes system (collective).
+//
+// etaElem gives the constant viscosity of each local element. force gives
+// the body-force vector at each element corner (e.g. Ra*T*e_r). bc
+// prescribes the velocity Dirichlet conditions.
+func Assemble(m *mesh.Mesh, dom fem.Domain, etaElem []float64, force [][8][3]float64, bc VelBC, opts Options) *System {
+	s := &System{M: m, Dom: dom, nOwned: m.NumOwned}
+	s.Layout = la.NewLayout(m.Rank, 4*m.NumOwned)
+
+	// Gather per-node velocity BC flags and values.
+	nodeL := m.Layout()
+	mask := la.NewVec(nodeL)
+	var vv [3]*la.Vec
+	for c := 0; c < 3; c++ {
+		vv[c] = la.NewVec(nodeL)
+	}
+	for i, pos := range m.OwnedPos {
+		fixed, vals := bc(dom.Coord(pos))
+		bits := 0.0
+		for c := 0; c < 3; c++ {
+			if fixed[c] {
+				bits += float64(int(1) << c)
+				vv[c].Data[i] = vals[c]
+			}
+		}
+		mask.Data[i] = bits
+	}
+	maskMap := m.GatherReferenced(mask)
+	var valMap [3]map[int64]float64
+	for c := 0; c < 3; c++ {
+		valMap[c] = m.GatherReferenced(vv[c])
+	}
+	// dofBC returns (value, true) if the dof is constrained.
+	dofBC := func(g int64, c int) (float64, bool) {
+		if c == 3 {
+			if g == 0 { // pressure pin
+				return 0, true
+			}
+			return 0, false
+		}
+		if int(maskMap[g])>>c&1 == 1 {
+			return valMap[c][g], true
+		}
+		return 0, false
+	}
+
+	A := la.NewMat(s.Layout)
+	bb := la.NewVecBuilder(s.Layout)
+
+	for ei, leaf := range m.Leaves {
+		h := dom.ElemSize(leaf)
+		eta := etaElem[ei]
+		Av := fem.ViscousBrick(h, eta)
+		Bd := fem.DivergenceBrick(h)
+		Cs := fem.StabilizationBrick(h, eta)
+		M8 := fem.MassBrick(h, 1)
+		cs := &m.Corners[ei]
+
+		// Consistent body-force load: F[a][i] = sum_b M8[a][b] f[b][i].
+		var F [8][3]float64
+		if force != nil {
+			for a := 0; a < 8; a++ {
+				for b := 0; b < 8; b++ {
+					for i := 0; i < 3; i++ {
+						F[a][i] += M8[a][b] * force[ei][b][i]
+					}
+				}
+			}
+		}
+
+		for a := 0; a < 8; a++ {
+			for ia := 0; ia < int(cs[a].N); ia++ {
+				ga, wa := cs[a].GID[ia], cs[a].W[ia]
+				// Velocity momentum rows.
+				for i := 0; i < 3; i++ {
+					if _, is := dofBC(ga, i); is {
+						continue
+					}
+					row := 4*ga + int64(i)
+					bb.Add(row, wa*F[a][i])
+					for b := 0; b < 8; b++ {
+						for ib := 0; ib < int(cs[b].N); ib++ {
+							gb, wb := cs[b].GID[ib], cs[b].W[ib]
+							w := wa * wb
+							// viscous block
+							for j := 0; j < 3; j++ {
+								v := w * Av[3*a+i][3*b+j]
+								if v == 0 {
+									continue
+								}
+								if bv, is := dofBC(gb, j); is {
+									bb.Add(row, -v*bv)
+								} else {
+									A.AddValue(row, 4*gb+int64(j), v)
+								}
+							}
+							// grad-p coupling: entry (v-row (a,i), p-col b)
+							v := w * Bd[b][3*a+i]
+							if v != 0 {
+								if bv, is := dofBC(gb, 3); is {
+									bb.Add(row, -v*bv)
+								} else {
+									A.AddValue(row, 4*gb+3, v)
+								}
+							}
+						}
+					}
+				}
+				// Pressure continuity row.
+				if _, is := dofBC(ga, 3); is {
+					continue
+				}
+				prow := 4*ga + 3
+				for b := 0; b < 8; b++ {
+					for ib := 0; ib < int(cs[b].N); ib++ {
+						gb, wb := cs[b].GID[ib], cs[b].W[ib]
+						w := wa * wb
+						for j := 0; j < 3; j++ {
+							v := w * Bd[a][3*b+j]
+							if v == 0 {
+								continue
+							}
+							if bv, is := dofBC(gb, j); is {
+								bb.Add(prow, -v*bv)
+							} else {
+								A.AddValue(prow, 4*gb+int64(j), v)
+							}
+						}
+						// stabilization block: -C
+						v := -w * Cs[a][b]
+						if v != 0 {
+							if bv, is := dofBC(gb, 3); is {
+								bb.Add(prow, -v*bv)
+							} else {
+								A.AddValue(prow, 4*gb+3, v)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	// Identity rows for constrained dofs owned here.
+	for i := 0; i < m.NumOwned; i++ {
+		g := m.Offset + int64(i)
+		for c := 0; c < 4; c++ {
+			if _, is := dofBC(g, c); is {
+				A.AddValue(4*g+int64(c), 4*g+int64(c), 1)
+			}
+		}
+	}
+	A.Assemble()
+	b := bb.Finalize()
+	for i := 0; i < m.NumOwned; i++ {
+		g := m.Offset + int64(i)
+		for c := 0; c < 4; c++ {
+			if v, is := dofBC(g, c); is {
+				b.Data[4*i+c] = v
+			}
+		}
+	}
+	s.A, s.B = A, b
+
+	// --- Preconditioner ---------------------------------------------
+
+	// A~: one scalar variable-viscosity Poisson matrix per velocity
+	// component, with that component's Dirichlet set, approximated by a
+	// per-rank AMG V-cycle.
+	for c := 0; c < 3; c++ {
+		c := c
+		compBC := func(x [3]float64) (float64, bool) {
+			fixed, vals := bc(x)
+			if fixed[c] {
+				return vals[c], true
+			}
+			return 0, false
+		}
+		Ac, _, _ := fem.AssembleScalar(m, dom,
+			func(ei int, h [3]float64) [8][8]float64 {
+				return fem.StiffnessBrick(h, etaElem[ei])
+			}, nil, compBC)
+		if opts.LocalAMG {
+			s.velAMG[c] = amg.NewBlockJacobi(Ac, opts.AMG)
+		} else {
+			s.velAMG[c] = amg.NewRedundant(Ac, opts.AMG)
+		}
+	}
+
+	// S~: inverse-viscosity-weighted lumped pressure mass.
+	sb := la.NewVecBuilder(nodeL)
+	for ei, leaf := range m.Leaves {
+		h := dom.ElemSize(leaf)
+		lm := fem.LumpedMassBrick(h, 1.0/etaElem[ei])
+		cs := &m.Corners[ei]
+		for a := 0; a < 8; a++ {
+			for ia := 0; ia < int(cs[a].N); ia++ {
+				sb.Add(cs[a].GID[ia], cs[a].W[ia]*lm[a])
+			}
+		}
+	}
+	sd := sb.Finalize()
+	s.schurInv = la.NewVec(nodeL)
+	for i, v := range sd.Data {
+		if v > 0 {
+			s.schurInv.Data[i] = 1 / v
+		} else {
+			s.schurInv.Data[i] = 1
+		}
+	}
+	s.xc = la.NewVec(nodeL)
+	s.yc = la.NewVec(nodeL)
+	return s
+}
+
+// Precond returns the block-diagonal preconditioner operator P^-1.
+func (s *System) Precond() krylov.Operator {
+	return krylov.OpFunc(func(x, y *la.Vec) {
+		n := s.nOwned
+		// Velocity components: AMG V-cycle each.
+		for c := 0; c < 3; c++ {
+			for i := 0; i < n; i++ {
+				s.xc.Data[i] = x.Data[4*i+c]
+			}
+			s.velAMG[c].Apply(s.xc, s.yc)
+			for i := 0; i < n; i++ {
+				y.Data[4*i+c] = s.yc.Data[i]
+			}
+		}
+		// Pressure: diagonal Schur approximation.
+		for i := 0; i < n; i++ {
+			y.Data[4*i+3] = s.schurInv.Data[i] * x.Data[4*i+3]
+		}
+	})
+}
+
+// Solve runs preconditioned MINRES from the initial guess in x.
+func (s *System) Solve(x *la.Vec, rtol float64, maxIt int) krylov.Result {
+	return krylov.MINRES(s.A, s.Precond(), s.B, x, rtol, maxIt)
+}
+
+// SplitSolution extracts nodal velocity components and pressure from the
+// interleaved solution vector (node layout vectors).
+func (s *System) SplitSolution(x *la.Vec) (u [3]*la.Vec, p *la.Vec) {
+	nodeL := s.M.Layout()
+	for c := 0; c < 3; c++ {
+		u[c] = la.NewVec(nodeL)
+		for i := 0; i < s.nOwned; i++ {
+			u[c].Data[i] = x.Data[4*i+c]
+		}
+	}
+	p = la.NewVec(nodeL)
+	for i := 0; i < s.nOwned; i++ {
+		p.Data[i] = x.Data[4*i+3]
+	}
+	return
+}
+
+// DivergenceNorm returns the global L2 norm of the discrete divergence
+// residual B u (pressure rows of A x without stabilization and pressure
+// coupling give an indication; here we recompute element-wise).
+func (s *System) DivergenceNorm(x *la.Vec) float64 {
+	// Gather velocity at referenced nodes.
+	u, _ := s.SplitSolution(x)
+	var maps [3]map[int64]float64
+	for c := 0; c < 3; c++ {
+		maps[c] = s.M.GatherReferenced(u[c])
+	}
+	var sum float64
+	for ei, leaf := range s.M.Leaves {
+		h := s.Dom.ElemSize(leaf)
+		vol := h[0] * h[1] * h[2]
+		var uc [8][3]float64
+		for c := 0; c < 8; c++ {
+			for d := 0; d < 3; d++ {
+				co := &s.M.Corners[ei][c]
+				var v float64
+				for k := 0; k < int(co.N); k++ {
+					v += co.W[k] * maps[d][co.GID[k]]
+				}
+				uc[c][d] = v
+			}
+		}
+		// Mid-point divergence.
+		var div float64
+		xi := [3]float64{0.5, 0.5, 0.5}
+		for c := 0; c < 8; c++ {
+			g := fem.ShapeGrad(c, xi)
+			for d := 0; d < 3; d++ {
+				div += uc[c][d] * g[d] / h[d]
+			}
+		}
+		sum += div * div * vol
+	}
+	total := s.M.Rank.Allreduce(sum, sim.OpSum)
+	return math.Sqrt(total)
+}
