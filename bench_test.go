@@ -87,6 +87,13 @@ func BenchmarkFig12_SphereAdvection(b *testing.B) {
 	}
 }
 
+func BenchmarkMatFreeThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.FigMatFreeThroughput(experiments.Small)
+		printOnce(b, i, func(w io.Writer) { t.Print(w) })
+	}
+}
+
 func BenchmarkSec7_MatrixVsTensor(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t := experiments.Sec7MatrixVsTensor(experiments.Small)

@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 2,5,6,7,8,9,10,sec6,12,sec7 or all")
+	fig := flag.String("fig", "all", "which experiment: 2,5,6,7,8,9,10,sec6,12,sec7,matfree or all")
 	scaleFlag := flag.String("scale", "small", "small or full")
 	flag.Parse()
 
@@ -55,5 +55,6 @@ func main() {
 		experiments.Sec7MatrixVsTensor(scale).Print(w)
 		experiments.Sec7DGWeakScaling(scale).Print(w)
 	})
+	run("matfree", func() { experiments.FigMatFreeThroughput(scale).Print(w) })
 	fmt.Fprintln(w)
 }

@@ -23,6 +23,7 @@ func main() {
 	target := flag.Int64("target", 4000, "element budget for MarkElements")
 	ra := flag.Float64("ra", 1e6, "Rayleigh number")
 	sigmaY := flag.Float64("yield", 1e3, "yield stress (0 = no yielding)")
+	matfree := flag.Bool("matfree", false, "apply the Stokes operator matrix-free instead of assembling the coupled CSR")
 	flag.Parse()
 
 	cfg := rhea.Config{
@@ -43,6 +44,7 @@ func main() {
 		Picard:      2,
 		MinresTol:   1e-6,
 		MinresMax:   800,
+		MatrixFree:  *matfree,
 	}
 
 	fmt.Printf("RHEA: %d ranks, Ra=%.1e, yield=%.1e, levels %d..%d, target %d elements\n",

@@ -1,0 +1,3 @@
+module rhea
+
+go 1.21

@@ -3,8 +3,19 @@ package experiments
 import (
 	"io"
 	"strconv"
+	"strings"
 	"testing"
 )
+
+// skipIfShort gates the slow experiment tables (each runs full simulated
+// multi-rank solves) out of the default CI loop; `go test ./...` without
+// -short still exercises everything.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("slow experiment table; run without -short")
+	}
+}
 
 func rows(t *testing.T, tb *Table) [][]string {
 	t.Helper()
@@ -34,6 +45,7 @@ func atof(t *testing.T, s string) float64 {
 }
 
 func TestFig2IterationsFlat(t *testing.T) {
+	skipIfShort(t)
 	tb := Fig2StokesWeakScaling(Small)
 	rs := rows(t, tb)
 	first := atoi(t, rs[0][4])
@@ -53,6 +65,7 @@ func TestFig2IterationsFlat(t *testing.T) {
 }
 
 func TestFig5AdaptationAggressive(t *testing.T) {
+	skipIfShort(t)
 	left, right := Fig5AdaptationExtent(Small)
 	rs := rows(t, left)
 	rows(t, right)
@@ -79,6 +92,7 @@ func TestFig5AdaptationAggressive(t *testing.T) {
 }
 
 func TestFig6SpeedupsMonotone(t *testing.T) {
+	skipIfShort(t)
 	tb := Fig6StrongScaling(Small)
 	rs := rows(t, tb)
 	prev := 0.0
@@ -108,6 +122,7 @@ func TestFig6SpeedupsMonotone(t *testing.T) {
 }
 
 func TestFig7AMRFractionModest(t *testing.T) {
+	skipIfShort(t)
 	breakdown, eff := Fig7WeakScalingBreakdown(Small)
 	rs := rows(t, breakdown)
 	rows(t, eff)
@@ -124,6 +139,7 @@ func TestFig7AMRFractionModest(t *testing.T) {
 }
 
 func TestFig8StokesDominates(t *testing.T) {
+	skipIfShort(t)
 	tb := Fig8MantleWeakScaling(Small)
 	rs := rows(t, tb)
 	for _, r := range rs {
@@ -154,6 +170,7 @@ func TestFig9LaplaceCheaper(t *testing.T) {
 }
 
 func TestFig10AMRSmallShare(t *testing.T) {
+	skipIfShort(t)
 	tb := Fig10AMRBreakdownTable(Small)
 	rs := rows(t, tb)
 	for _, r := range rs {
@@ -168,6 +185,7 @@ func TestFig10AMRSmallShare(t *testing.T) {
 }
 
 func TestSec6ReductionLarge(t *testing.T) {
+	skipIfShort(t)
 	tb := Sec6YieldingStats(Small)
 	rs := rows(t, tb)
 	vals := map[string]string{}
@@ -197,6 +215,44 @@ func TestFig12SphereRuns(t *testing.T) {
 	}
 	if !movedAny {
 		t.Error("no elements ever moved on repartition")
+	}
+}
+
+func TestMatFreeThroughputAtLeastMatches(t *testing.T) {
+	skipIfShort(t)
+	tb := FigMatFreeThroughput(Small)
+	rs := rows(t, tb)
+	// At the largest Small level the fused matrix-free apply must at
+	// least match the assembled-CSR apply throughput, and building the
+	// operator must not cost more than assembling the CSR. Margins are
+	// wide: these are wall-clock ratios on shared, possibly single-core
+	// CI runners (typical measured speedup is 1.1-1.4x).
+	last := rs[len(rs)-1]
+	if sp := atof(t, last[6]); sp < 0.6 {
+		t.Errorf("matrix-free apply speedup %v, want >= ~1", sp)
+	}
+	asmSetup, mfSetup := atof(t, last[7]), atof(t, last[8])
+	if mfSetup > asmSetup*1.5 {
+		t.Errorf("matrix-free setup %vs vs assembled %vs", mfSetup, asmSetup)
+	}
+	// Both solves must converge ("!" marks non-convergence) and their
+	// iteration counts must agree closely: same operator to rounding.
+	for _, r := range rs {
+		iters := r[11]
+		if strings.HasSuffix(iters, "!") {
+			t.Fatalf("level %s: a solve did not converge (%s)", r[0], iters)
+		}
+		parts := strings.Split(iters, "/")
+		if len(parts) != 2 {
+			t.Fatalf("level %s: malformed iters column %q", r[0], iters)
+		}
+		ai, mi := atoi(t, parts[0]), atoi(t, parts[1])
+		if ai <= 0 || mi <= 0 {
+			t.Errorf("level %s: no MINRES iterations recorded (%s)", r[0], iters)
+		}
+		if d := ai - mi; d > 5 || d < -5 {
+			t.Errorf("level %s: assembled/matrix-free iterations diverge: %s", r[0], iters)
+		}
 	}
 }
 

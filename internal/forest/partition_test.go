@@ -1,0 +1,129 @@
+package forest
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"rhea/internal/morton"
+	"rhea/internal/sim"
+)
+
+// rankLeaves snapshots each rank's leaves, indexed by rank.
+type rankLeaves struct {
+	mu sync.Mutex
+	by [][]Octant
+}
+
+func (g *rankLeaves) set(id int, ls []Octant) {
+	g.mu.Lock()
+	g.by[id] = append([]Octant(nil), ls...)
+	g.mu.Unlock()
+}
+
+// Refine -> Balance -> Partition must leave the forest globally sorted
+// along the space-filling curve: every rank's leaves locally ordered
+// (CheckLocalOrder), consecutive ranks' segments non-overlapping, no
+// leaf lost or duplicated, and the load balanced.
+func TestPartitionBalanceInterplay(t *testing.T) {
+	conns := map[string]*Connectivity{
+		"brick":  BrickConnectivity(2, 1, 1),
+		"sphere": CubedSphere(1),
+	}
+	for name, c := range conns {
+		for _, p := range []int{2, 5} {
+			name, c, p := name, c, p
+			g := &rankLeaves{by: make([][]Octant, p)}
+			var before int64
+			sim.Run(p, func(r *sim.Rank) {
+				f := New(r, c, 1)
+				// Skewed refinement: two rounds concentrated in tree 0's
+				// low corner so Balance must propagate across ranks and
+				// tree interfaces, then a third near an interface.
+				for i := 0; i < 2; i++ {
+					f.Refine(func(o Octant) bool {
+						return o.Tree == 0 && o.O.X == 0 && o.O.Y == 0 && o.O.Z == 0
+					})
+				}
+				f.Refine(func(o Octant) bool {
+					return o.O.X+o.O.Len() == morton.RootLen
+				})
+				f.Balance()
+				n := f.NumGlobal()
+				f.Partition()
+				if r.ID() == 0 {
+					before = n
+				}
+
+				if err := f.CheckLocalOrder(); err != nil {
+					t.Errorf("%s p=%d rank %d: %v", name, p, r.ID(), err)
+				}
+				// Even split along the curve.
+				n = f.NumGlobal()
+				lo := n / int64(p)
+				if ln := int64(f.NumLocal()); ln < lo || ln > lo+1 {
+					t.Errorf("%s p=%d rank %d: %d leaves, want %d or %d",
+						name, p, r.ID(), ln, lo, lo+1)
+				}
+				g.set(r.ID(), f.Leaves())
+			})
+
+			// Global curve order across rank boundaries.
+			var all []Octant
+			for rk := 0; rk < p; rk++ {
+				ls := g.by[rk]
+				if rk > 0 && len(ls) > 0 {
+					// Find the previous non-empty rank's last leaf.
+					for prev := rk - 1; prev >= 0; prev-- {
+						if n := len(g.by[prev]); n > 0 {
+							last := g.by[prev][n-1]
+							if !Less(last, ls[0]) {
+								t.Errorf("%s p=%d: rank %d starts at %v before rank %d ends at %v",
+									name, p, rk, ls[0], prev, last)
+							}
+							break
+						}
+					}
+				}
+				all = append(all, ls...)
+			}
+			// Nothing lost, nothing duplicated, still globally sorted.
+			if int64(len(all)) != before {
+				t.Errorf("%s p=%d: %d leaves after partition, had %d", name, p, len(all), before)
+			}
+			if !sort.SliceIsSorted(all, func(i, j int) bool { return Less(all[i], all[j]) }) {
+				t.Errorf("%s p=%d: global leaf sequence not Morton-sorted", name, p)
+			}
+			for i := 1; i < len(all); i++ {
+				if all[i] == all[i-1] {
+					t.Errorf("%s p=%d: duplicate leaf %v", name, p, all[i])
+				}
+			}
+		}
+	}
+}
+
+// Repeated adapt cycles (refine -> balance -> partition) must preserve
+// the invariants at every step, not just once.
+func TestPartitionBalanceCycles(t *testing.T) {
+	c := BrickConnectivity(2, 2, 1)
+	sim.Run(3, func(r *sim.Rank) {
+		f := New(r, c, 1)
+		for cycle := 0; cycle < 3; cycle++ {
+			cycle := uint32(cycle)
+			f.Refine(func(o Octant) bool {
+				return o.O.Level < 4 && (o.O.X/o.O.Len()+o.O.Y/o.O.Len())%3 == cycle%3 && o.Tree == 0
+			})
+			f.Balance()
+			f.Partition()
+			if err := f.CheckLocalOrder(); err != nil {
+				t.Errorf("cycle %d rank %d: %v", cycle, r.ID(), err)
+			}
+			n := f.NumGlobal()
+			lo := n / 3
+			if ln := int64(f.NumLocal()); ln < lo || ln > lo+1 {
+				t.Errorf("cycle %d rank %d: imbalance %d of %d", cycle, r.ID(), ln, n)
+			}
+		}
+	})
+}

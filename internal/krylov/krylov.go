@@ -7,6 +7,7 @@ package krylov
 
 import (
 	"math"
+	"time"
 
 	"rhea/internal/la"
 )
@@ -196,4 +197,22 @@ func Jacobi(A *la.Mat) Operator {
 // DiagOp wraps an explicit inverse-diagonal vector as a preconditioner.
 func DiagOp(inv *la.Vec) Operator {
 	return OpFunc(func(x, y *la.Vec) { y.PointwiseMult(inv, x) })
+}
+
+// Counted wraps an operator and accumulates the number of applies and
+// the wall-clock seconds spent in them — the instrumentation the
+// evaluation layer uses to compare assembled and matrix-free operator
+// throughput inside an otherwise identical solve.
+type Counted struct {
+	Op      Operator
+	Applies int
+	Seconds float64
+}
+
+// Apply implements Operator.
+func (c *Counted) Apply(x, y *la.Vec) {
+	t0 := time.Now()
+	c.Op.Apply(x, y)
+	c.Seconds += time.Since(t0).Seconds()
+	c.Applies++
 }

@@ -1,0 +1,148 @@
+package la
+
+import "sort"
+
+// GhostExchange is a reusable neighbor-exchange plan over a fixed set of
+// off-rank global indices of a layout. It generalizes the ghost update
+// baked into Mat.Apply: matrix-free operators gather remote nodal blocks
+// before their element loops and scatter-add remote row contributions
+// back afterwards, using the same plan in both directions.
+//
+// Indices carry fixed-size blocks of `block` float64 components (the
+// Stokes operator uses block = 4: three velocity components plus
+// pressure per node). Owned data lives in caller-managed slices of
+// length Local()*block; ghost data in slices of length NumGhosts()*block,
+// indexed by ghost slot in the order of Ghosts().
+type GhostExchange struct {
+	layout *Layout
+	block  int
+	ghosts []int64
+
+	// reqSlot[r] lists the ghost slots served by rank r; sendIdx[r] lists
+	// the local block indices this rank serves to rank r, in the order
+	// rank r requested them (the two sides of the plan line up).
+	reqSlot [][]int32
+	sendIdx [][]int32
+}
+
+// NewGhostExchange builds the exchange plan for the given off-rank global
+// indices (collective). want may contain duplicates and need not be
+// sorted; it must not contain indices owned by this rank.
+func NewGhostExchange(l *Layout, want []int64, block int) *GhostExchange {
+	g := &GhostExchange{layout: l, block: block}
+	g.ghosts = append([]int64(nil), want...)
+	sort.Slice(g.ghosts, func(i, j int) bool { return g.ghosts[i] < g.ghosts[j] })
+	out := g.ghosts[:0]
+	for i, gid := range g.ghosts {
+		if l.Owns(gid) {
+			panic("la: NewGhostExchange wants an owned index")
+		}
+		if i == 0 || gid != g.ghosts[i-1] {
+			out = append(out, gid)
+		}
+	}
+	g.ghosts = out
+
+	r := l.rank
+	p := r.Size()
+	wantByRank := make([][]int64, p)
+	g.reqSlot = make([][]int32, p)
+	for s, gid := range g.ghosts {
+		o := l.OwnerOf(gid)
+		wantByRank[o] = append(wantByRank[o], gid)
+		g.reqSlot[o] = append(g.reqSlot[o], int32(s))
+	}
+	req := make([]any, p)
+	nb := make([]int, p)
+	for j := range wantByRank {
+		req[j] = wantByRank[j]
+		nb[j] = 8 * len(wantByRank[j])
+	}
+	in := r.Alltoall(req, nb)
+	g.sendIdx = make([][]int32, p)
+	for i, d := range in {
+		if i == r.ID() {
+			continue
+		}
+		asked := d.([]int64)
+		idx := make([]int32, len(asked))
+		for k, gid := range asked {
+			idx[k] = int32(gid - l.Start())
+		}
+		g.sendIdx[i] = idx
+	}
+	return g
+}
+
+// NumGhosts returns the number of distinct off-rank indices in the plan.
+func (g *GhostExchange) NumGhosts() int { return len(g.ghosts) }
+
+// Ghosts returns the off-rank global indices in ghost-slot order.
+func (g *GhostExchange) Ghosts() []int64 { return g.ghosts }
+
+// Gather fills ghost (length NumGhosts()*block) with the remote blocks,
+// served from every owner's owned slice (length Local()*block)
+// (collective).
+func (g *GhostExchange) Gather(owned, ghost []float64) {
+	r := g.layout.rank
+	p := r.Size()
+	out := make([]any, p)
+	nb := make([]int, p)
+	for j := range g.sendIdx {
+		if j == r.ID() || len(g.sendIdx[j]) == 0 {
+			out[j] = []float64(nil)
+			continue
+		}
+		buf := make([]float64, len(g.sendIdx[j])*g.block)
+		for k, li := range g.sendIdx[j] {
+			copy(buf[k*g.block:(k+1)*g.block], owned[int(li)*g.block:(int(li)+1)*g.block])
+		}
+		out[j] = buf
+		nb[j] = 8 * len(buf)
+	}
+	in := r.Alltoall(out, nb)
+	for i, d := range in {
+		if i == r.ID() {
+			continue
+		}
+		buf, _ := d.([]float64)
+		for k, s := range g.reqSlot[i] {
+			copy(ghost[int(s)*g.block:(int(s)+1)*g.block], buf[k*g.block:(k+1)*g.block])
+		}
+	}
+}
+
+// ScatterAdd routes ghost-slot contributions back to their owners and
+// adds them into the owners' owned slices — the transpose of Gather
+// (collective).
+func (g *GhostExchange) ScatterAdd(ghost, owned []float64) {
+	r := g.layout.rank
+	p := r.Size()
+	out := make([]any, p)
+	nb := make([]int, p)
+	for j := range g.reqSlot {
+		if j == r.ID() || len(g.reqSlot[j]) == 0 {
+			out[j] = []float64(nil)
+			continue
+		}
+		buf := make([]float64, len(g.reqSlot[j])*g.block)
+		for k, s := range g.reqSlot[j] {
+			copy(buf[k*g.block:(k+1)*g.block], ghost[int(s)*g.block:(int(s)+1)*g.block])
+		}
+		out[j] = buf
+		nb[j] = 8 * len(buf)
+	}
+	in := r.Alltoall(out, nb)
+	for i, d := range in {
+		if i == r.ID() {
+			continue
+		}
+		buf, _ := d.([]float64)
+		for k, li := range g.sendIdx[i] {
+			base := int(li) * g.block
+			for c := 0; c < g.block; c++ {
+				owned[base+c] += buf[k*g.block+c]
+			}
+		}
+	}
+}

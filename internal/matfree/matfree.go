@@ -1,0 +1,355 @@
+// Package matfree applies the coupled variable-viscosity Stokes operator
+// matrix-free: instead of assembling the global saddle-point CSR, each
+// Krylov apply runs a fused loop over the local elements, multiplying
+// cached per-level element kernels (fem.StokesKernels) against gathered
+// corner values and scatter-adding the results through the hanging-node
+// constraint weights. This is the paper-era route to speed and scale for
+// memory-bound Stokes solves: the operator is never stored, the per-apply
+// data volume drops from CSR values + indices to nodal vectors, and the
+// element loop parallelizes over in-rank cores on top of the rank-level
+// (simulated MPI) parallelism.
+//
+// Off-rank coupling uses one la.GhostExchange plan in both directions:
+// gather remote master-node blocks before the loop, scatter-add remote
+// row contributions after it. Dirichlet conditions are eliminated exactly
+// as in the assembled path — constrained columns read zero, constrained
+// owned rows are identity — so the apply matches stokes.Assemble's CSR to
+// rounding.
+package matfree
+
+import (
+	"runtime"
+	"sync"
+
+	"rhea/internal/fem"
+	"rhea/internal/la"
+	"rhea/internal/mesh"
+)
+
+// DofBC reports whether dof component c (0..2 velocity, 3 pressure) of
+// the independent node with global id g is Dirichlet-constrained, and its
+// value. It must be evaluable for every node the rank references.
+type DofBC func(g int64, c int) (float64, bool)
+
+// Options tunes the matrix-free apply.
+type Options struct {
+	// Workers is the number of goroutines the element loop uses within
+	// this rank. 0 picks NumCPU()/worldSize (at least 1), so in-rank
+	// cores left idle by the rank decomposition contribute to throughput.
+	Workers int
+}
+
+// cornerRef is one element corner resolved to compact node slots: the
+// constrained-corner interpolation of mesh.Corner with global ids
+// replaced by local slot indices (owned nodes first, then ghosts).
+type cornerRef struct {
+	n    int8
+	slot [4]int32
+	w    [4]float64
+}
+
+// Operator is the matrix-free coupled Stokes operator on one rank. It
+// implements krylov.Operator over the interleaved 4N dof layout used by
+// stokes.System.
+type Operator struct {
+	m       *mesh.Mesh
+	layout  *la.Layout // 4*NumOwned dof layout
+	eta     []float64  // per-element viscosity
+	kern    []*fem.StokesKernels
+	corners [][8]cornerRef
+	gx      *la.GhostExchange
+	nOwned  int
+	nSlots  int
+
+	fixedIdx []int32   // slot-space dof indices read as zero (constrained columns)
+	bcval    []float64 // len nSlots*4: Dirichlet values at constrained dofs
+	ownFixed []int32   // owned dof indices with identity rows
+
+	workers int
+	xbuf    []float64   // nSlots*4 gathered input
+	acc     [][]float64 // per-worker accumulators, nSlots*4 each
+	chunks  [][2]int    // static Morton-contiguous element ranges per worker
+}
+
+// New builds the operator for the extracted mesh, per-element viscosity
+// and Dirichlet data (collective: it sets up the ghost-exchange plan).
+// layout must be the 4N dof layout of the Stokes system.
+func New(m *mesh.Mesh, dom fem.Domain, layout *la.Layout, etaElem []float64, bc DofBC, opts Options) *Operator {
+	op := &Operator{m: m, layout: layout, eta: etaElem, nOwned: m.NumOwned}
+
+	// Per-level kernel cache: element size depends only on the level.
+	byLevel := map[uint8]*fem.StokesKernels{}
+	op.kern = make([]*fem.StokesKernels, len(m.Leaves))
+	for ei, leaf := range m.Leaves {
+		k, ok := byLevel[leaf.Level]
+		if !ok {
+			k = fem.NewStokesKernels(dom.ElemSize(leaf))
+			byLevel[leaf.Level] = k
+		}
+		op.kern[ei] = k
+	}
+
+	// Compact slot numbering: owned nodes at gid-Offset, ghosts after.
+	ghostSet := map[int64]struct{}{}
+	for ei := range m.Corners {
+		for c := 0; c < 8; c++ {
+			co := &m.Corners[ei][c]
+			for k := 0; k < int(co.N); k++ {
+				if g := co.GID[k]; g < m.Offset || g >= m.Offset+int64(m.NumOwned) {
+					ghostSet[g] = struct{}{}
+				}
+			}
+		}
+	}
+	ghosts := make([]int64, 0, len(ghostSet))
+	for g := range ghostSet {
+		ghosts = append(ghosts, g)
+	}
+	nodeLayout := la.NewLayout(m.Rank, m.NumOwned)
+	op.gx = la.NewGhostExchange(nodeLayout, ghosts, 4)
+	op.nSlots = m.NumOwned + op.gx.NumGhosts()
+	slotOf := make(map[int64]int32, op.nSlots)
+	for i := 0; i < m.NumOwned; i++ {
+		slotOf[m.Offset+int64(i)] = int32(i)
+	}
+	for s, g := range op.gx.Ghosts() {
+		slotOf[g] = int32(m.NumOwned + s)
+	}
+
+	op.corners = make([][8]cornerRef, len(m.Leaves))
+	for ei := range m.Corners {
+		for c := 0; c < 8; c++ {
+			co := &m.Corners[ei][c]
+			cr := cornerRef{n: co.N}
+			for k := 0; k < int(co.N); k++ {
+				cr.slot[k] = slotOf[co.GID[k]]
+				cr.w[k] = co.W[k]
+			}
+			op.corners[ei][c] = cr
+		}
+	}
+
+	// Constraint tables in slot space.
+	op.bcval = make([]float64, op.nSlots*4)
+	gidAt := func(s int) int64 {
+		if s < m.NumOwned {
+			return m.Offset + int64(s)
+		}
+		return op.gx.Ghosts()[s-m.NumOwned]
+	}
+	for s := 0; s < op.nSlots; s++ {
+		g := gidAt(s)
+		for c := 0; c < 4; c++ {
+			if v, is := bc(g, c); is {
+				op.fixedIdx = append(op.fixedIdx, int32(4*s+c))
+				op.bcval[4*s+c] = v
+				if s < m.NumOwned {
+					op.ownFixed = append(op.ownFixed, int32(4*s+c))
+				}
+			}
+		}
+	}
+
+	op.workers = opts.Workers
+	if op.workers <= 0 {
+		op.workers = runtime.NumCPU() / m.Rank.Size()
+		if op.workers < 1 {
+			op.workers = 1
+		}
+	}
+	if op.workers > len(m.Leaves) && len(m.Leaves) > 0 {
+		op.workers = len(m.Leaves)
+	}
+	if op.workers < 1 {
+		op.workers = 1
+	}
+	// Static Morton-contiguous chunks: deterministic accumulation order
+	// regardless of goroutine scheduling.
+	ne := len(m.Leaves)
+	for w := 0; w < op.workers; w++ {
+		lo := ne * w / op.workers
+		hi := ne * (w + 1) / op.workers
+		op.chunks = append(op.chunks, [2]int{lo, hi})
+	}
+	op.xbuf = make([]float64, op.nSlots*4)
+	op.acc = make([][]float64, op.workers)
+	for w := range op.acc {
+		op.acc[w] = make([]float64, op.nSlots*4)
+	}
+	return op
+}
+
+// Workers returns the in-rank worker count the element loop uses.
+func (op *Operator) Workers() int { return op.workers }
+
+// elementLoop runs ye = A_e xe over elements [lo,hi), accumulating into
+// dst through the constraint weights.
+func (op *Operator) elementLoop(lo, hi int, src, dst []float64) {
+	var xe, ye [32]float64
+	for ei := lo; ei < hi; ei++ {
+		cs := &op.corners[ei]
+		for a := 0; a < 8; a++ {
+			cr := &cs[a]
+			var v0, v1, v2, v3 float64
+			for k := 0; k < int(cr.n); k++ {
+				base := int(cr.slot[k]) * 4
+				w := cr.w[k]
+				v0 += w * src[base]
+				v1 += w * src[base+1]
+				v2 += w * src[base+2]
+				v3 += w * src[base+3]
+			}
+			xe[4*a], xe[4*a+1], xe[4*a+2], xe[4*a+3] = v0, v1, v2, v3
+		}
+		op.kern[ei].Apply(op.eta[ei], &xe, &ye)
+		for a := 0; a < 8; a++ {
+			cr := &cs[a]
+			for k := 0; k < int(cr.n); k++ {
+				base := int(cr.slot[k]) * 4
+				w := cr.w[k]
+				dst[base] += w * ye[4*a]
+				dst[base+1] += w * ye[4*a+1]
+				dst[base+2] += w * ye[4*a+2]
+				dst[base+3] += w * ye[4*a+3]
+			}
+		}
+	}
+}
+
+// runParallel executes the element loop over all chunks and reduces the
+// per-worker accumulators into op.acc[0].
+func (op *Operator) runParallel(src []float64) []float64 {
+	if op.workers == 1 {
+		acc := op.acc[0]
+		for i := range acc {
+			acc[i] = 0
+		}
+		op.elementLoop(0, len(op.corners), src, acc)
+		return acc
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < op.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			acc := op.acc[w]
+			for i := range acc {
+				acc[i] = 0
+			}
+			op.elementLoop(op.chunks[w][0], op.chunks[w][1], src, acc)
+		}(w)
+	}
+	wg.Wait()
+	// Parallel reduction: each worker sums a contiguous slot range across
+	// all buffers into acc[0], in fixed worker order (deterministic).
+	n := op.nSlots * 4
+	for w := 0; w < op.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := n * w / op.workers
+			hi := n * (w + 1) / op.workers
+			dst := op.acc[0][lo:hi]
+			for v := 1; v < op.workers; v++ {
+				srcv := op.acc[v][lo:hi]
+				for i := range dst {
+					dst[i] += srcv[i]
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return op.acc[0]
+}
+
+// Apply computes y = A x for the Dirichlet-eliminated coupled Stokes
+// operator (collective). It matches the assembled CSR of stokes.Assemble
+// to rounding: constrained columns are read as zero and constrained owned
+// rows return x unchanged (identity).
+func (op *Operator) Apply(x, y *la.Vec) {
+	// Gather owned + ghost nodal blocks into slot space.
+	copy(op.xbuf[:op.nOwned*4], x.Data)
+	op.gx.Gather(x.Data, op.xbuf[op.nOwned*4:])
+	// Eliminated columns read zero.
+	for _, idx := range op.fixedIdx {
+		op.xbuf[idx] = 0
+	}
+	acc := op.runParallel(op.xbuf)
+	copy(y.Data, acc[:op.nOwned*4])
+	op.gx.ScatterAdd(acc[op.nOwned*4:], y.Data)
+	// Identity rows for owned constrained dofs.
+	for _, idx := range op.ownFixed {
+		y.Data[idx] = x.Data[idx]
+	}
+}
+
+// RHS assembles the right-hand side matching the eliminated operator
+// without forming any matrix (collective): consistent body-force loads
+// minus the raw operator applied to the Dirichlet lift, with constrained
+// owned entries set to their boundary values. force gives the body-force
+// vector at each element corner (nil for none).
+func (op *Operator) RHS(force [][8][3]float64) *la.Vec {
+	// Dirichlet lift in slot space: boundary values at constrained dofs.
+	lift := make([]float64, op.nSlots*4)
+	for _, idx := range op.fixedIdx {
+		lift[idx] = op.bcval[idx]
+	}
+	acc := make([]float64, op.nSlots*4)
+	var xe, ye [32]float64
+	for ei := range op.corners {
+		cs := &op.corners[ei]
+		for a := 0; a < 8; a++ {
+			cr := &cs[a]
+			var v0, v1, v2, v3 float64
+			for k := 0; k < int(cr.n); k++ {
+				base := int(cr.slot[k]) * 4
+				w := cr.w[k]
+				v0 += w * lift[base]
+				v1 += w * lift[base+1]
+				v2 += w * lift[base+2]
+				v3 += w * lift[base+3]
+			}
+			xe[4*a], xe[4*a+1], xe[4*a+2], xe[4*a+3] = v0, v1, v2, v3
+		}
+		op.kern[ei].Apply(op.eta[ei], &xe, &ye)
+		// re = consistent load - lift action; pressure rows carry no load.
+		if force != nil {
+			M8 := &op.kern[ei].M8
+			for a := 0; a < 8; a++ {
+				var f0, f1, f2 float64
+				for b := 0; b < 8; b++ {
+					m := M8[a][b]
+					f0 += m * force[ei][b][0]
+					f1 += m * force[ei][b][1]
+					f2 += m * force[ei][b][2]
+				}
+				ye[4*a] = f0 - ye[4*a]
+				ye[4*a+1] = f1 - ye[4*a+1]
+				ye[4*a+2] = f2 - ye[4*a+2]
+				ye[4*a+3] = -ye[4*a+3]
+			}
+		} else {
+			for i := range ye {
+				ye[i] = -ye[i]
+			}
+		}
+		for a := 0; a < 8; a++ {
+			cr := &cs[a]
+			for k := 0; k < int(cr.n); k++ {
+				base := int(cr.slot[k]) * 4
+				w := cr.w[k]
+				acc[base] += w * ye[4*a]
+				acc[base+1] += w * ye[4*a+1]
+				acc[base+2] += w * ye[4*a+2]
+				acc[base+3] += w * ye[4*a+3]
+			}
+		}
+	}
+	b := la.NewVec(op.layout)
+	copy(b.Data, acc[:op.nOwned*4])
+	op.gx.ScatterAdd(acc[op.nOwned*4:], b.Data)
+	for _, idx := range op.ownFixed {
+		b.Data[idx] = op.bcval[idx]
+	}
+	return b
+}

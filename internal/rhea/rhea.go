@@ -92,6 +92,9 @@ type Config struct {
 	MinresTol  float64 // default 1e-6
 	MinresMax  int     // default 500
 	AMG        amg.Options
+	// MatrixFree applies the coupled Stokes operator by fused per-element
+	// loops instead of an assembled CSR (see stokes.Options.MatrixFree).
+	MatrixFree bool
 }
 
 func (c Config) withDefaults() Config {
@@ -399,7 +402,8 @@ func (s *Sim) SolveStokes() krylov.Result {
 		t0 := time.Now()
 		eta := s.ElementViscosity()
 		force := s.buoyancy()
-		sys := stokes.Assemble(s.Mesh, s.Cfg.Dom, eta, force, bc, stokes.Options{AMG: s.Cfg.AMG})
+		sys := stokes.Assemble(s.Mesh, s.Cfg.Dom, eta, force, bc,
+			stokes.Options{AMG: s.Cfg.AMG, MatrixFree: s.Cfg.MatrixFree})
 		s.Times.StokesAssemble += time.Since(t0).Seconds()
 
 		t0 = time.Now()

@@ -132,6 +132,36 @@ func TestPlumeRises(t *testing.T) {
 	})
 }
 
+// The full convection cycle must run identically well on the matrix-free
+// Stokes path, including variable (temperature-dependent) viscosity and
+// mesh adaptation between solves.
+func TestMatrixFreeCycleDevelopsFlow(t *testing.T) {
+	sim.Run(2, func(r *sim.Rank) {
+		cfg := blobConfig()
+		cfg.Visc = TemperatureDependent(1, 2)
+		cfg.MatrixFree = true
+		s := New(r, cfg)
+		res := s.SolveStokes()
+		if !res.Converged {
+			t.Fatalf("matrix-free Stokes MINRES failed: %v its, residual %v",
+				res.Iterations, res.Residual)
+		}
+		if v := s.MaxVelocity(); v <= 0 {
+			t.Errorf("no flow developed: max |u| = %v", v)
+		}
+		s.AdvectSteps(3)
+		s.Adapt()
+		if res = s.SolveStokes(); !res.Converged {
+			t.Fatalf("matrix-free solve failed after adaptation: %v", res.Residual)
+		}
+		for _, v := range s.T.Data {
+			if math.IsNaN(v) {
+				t.Fatal("NaN temperature in matrix-free run")
+			}
+		}
+	})
+}
+
 func TestAdaptStatsConsistent(t *testing.T) {
 	sim.Run(3, func(r *sim.Rank) {
 		s := New(r, blobConfig())

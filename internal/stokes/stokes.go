@@ -26,6 +26,7 @@ import (
 	"rhea/internal/fem"
 	"rhea/internal/krylov"
 	"rhea/internal/la"
+	"rhea/internal/matfree"
 	"rhea/internal/mesh"
 	"rhea/internal/sim"
 )
@@ -60,13 +61,18 @@ func NoSlip(box [3]float64) VelBC {
 	}
 }
 
-// System is an assembled Stokes problem plus its preconditioner.
+// System is a Stokes problem plus its preconditioner. The coupled
+// operator is either an assembled distributed CSR (A) or a matrix-free
+// per-element apply (MF), selected by Options.MatrixFree; Op is whichever
+// one Solve iterates with.
 type System struct {
 	M      *mesh.Mesh
 	Dom    fem.Domain
-	Layout *la.Layout // 4N dof layout
-	A      *la.Mat    // coupled saddle-point operator
-	B      *la.Vec    // right-hand side
+	Layout *la.Layout        // 4N dof layout
+	A      *la.Mat           // coupled saddle-point operator (nil in matrix-free mode)
+	MF     *matfree.Operator // matrix-free apply (nil in assembled mode)
+	Op     krylov.Operator   // the operator Solve uses
+	B      *la.Vec           // right-hand side
 
 	velAMG   [3]krylov.Operator // AMG V-cycle per velocity component
 	schurInv *la.Vec            // nodal inverse of S~ diagonal
@@ -84,6 +90,13 @@ type Options struct {
 	// (redundant) hierarchy. Cheaper setup, but Krylov iteration counts
 	// then grow with the rank count — see the ablation benchmarks.
 	LocalAMG bool
+	// MatrixFree skips assembling the coupled saddle-point CSR and
+	// applies the operator by fused per-element loops instead (package
+	// matfree). The preconditioner is unchanged. The apply agrees with
+	// the assembled operator to rounding.
+	MatrixFree bool
+	// MatFree tunes the matrix-free apply (in-rank worker count).
+	MatFree matfree.Options
 }
 
 // Assemble builds the Stokes system (collective).
@@ -132,122 +145,129 @@ func Assemble(m *mesh.Mesh, dom fem.Domain, etaElem []float64, force [][8][3]flo
 		return 0, false
 	}
 
-	A := la.NewMat(s.Layout)
-	bb := la.NewVecBuilder(s.Layout)
+	if opts.MatrixFree {
+		mf := matfree.New(m, dom, s.Layout, etaElem, dofBC, opts.MatFree)
+		s.MF, s.Op = mf, mf
+		s.B = mf.RHS(force)
+	} else {
+		A := la.NewMat(s.Layout)
+		bb := la.NewVecBuilder(s.Layout)
 
-	for ei, leaf := range m.Leaves {
-		h := dom.ElemSize(leaf)
-		eta := etaElem[ei]
-		Av := fem.ViscousBrick(h, eta)
-		Bd := fem.DivergenceBrick(h)
-		Cs := fem.StabilizationBrick(h, eta)
-		M8 := fem.MassBrick(h, 1)
-		cs := &m.Corners[ei]
+		for ei, leaf := range m.Leaves {
+			h := dom.ElemSize(leaf)
+			eta := etaElem[ei]
+			Av := fem.ViscousBrick(h, eta)
+			Bd := fem.DivergenceBrick(h)
+			Cs := fem.StabilizationBrick(h, eta)
+			M8 := fem.MassBrick(h, 1)
+			cs := &m.Corners[ei]
 
-		// Consistent body-force load: F[a][i] = sum_b M8[a][b] f[b][i].
-		var F [8][3]float64
-		if force != nil {
-			for a := 0; a < 8; a++ {
-				for b := 0; b < 8; b++ {
-					for i := 0; i < 3; i++ {
-						F[a][i] += M8[a][b] * force[ei][b][i]
+			// Consistent body-force load: F[a][i] = sum_b M8[a][b] f[b][i].
+			var F [8][3]float64
+			if force != nil {
+				for a := 0; a < 8; a++ {
+					for b := 0; b < 8; b++ {
+						for i := 0; i < 3; i++ {
+							F[a][i] += M8[a][b] * force[ei][b][i]
+						}
 					}
 				}
 			}
-		}
 
-		for a := 0; a < 8; a++ {
-			for ia := 0; ia < int(cs[a].N); ia++ {
-				ga, wa := cs[a].GID[ia], cs[a].W[ia]
-				// Velocity momentum rows.
-				for i := 0; i < 3; i++ {
-					if _, is := dofBC(ga, i); is {
+			for a := 0; a < 8; a++ {
+				for ia := 0; ia < int(cs[a].N); ia++ {
+					ga, wa := cs[a].GID[ia], cs[a].W[ia]
+					// Velocity momentum rows.
+					for i := 0; i < 3; i++ {
+						if _, is := dofBC(ga, i); is {
+							continue
+						}
+						row := 4*ga + int64(i)
+						bb.Add(row, wa*F[a][i])
+						for b := 0; b < 8; b++ {
+							for ib := 0; ib < int(cs[b].N); ib++ {
+								gb, wb := cs[b].GID[ib], cs[b].W[ib]
+								w := wa * wb
+								// viscous block
+								for j := 0; j < 3; j++ {
+									v := w * Av[3*a+i][3*b+j]
+									if v == 0 {
+										continue
+									}
+									if bv, is := dofBC(gb, j); is {
+										bb.Add(row, -v*bv)
+									} else {
+										A.AddValue(row, 4*gb+int64(j), v)
+									}
+								}
+								// grad-p coupling: entry (v-row (a,i), p-col b)
+								v := w * Bd[b][3*a+i]
+								if v != 0 {
+									if bv, is := dofBC(gb, 3); is {
+										bb.Add(row, -v*bv)
+									} else {
+										A.AddValue(row, 4*gb+3, v)
+									}
+								}
+							}
+						}
+					}
+					// Pressure continuity row.
+					if _, is := dofBC(ga, 3); is {
 						continue
 					}
-					row := 4*ga + int64(i)
-					bb.Add(row, wa*F[a][i])
+					prow := 4*ga + 3
 					for b := 0; b < 8; b++ {
 						for ib := 0; ib < int(cs[b].N); ib++ {
 							gb, wb := cs[b].GID[ib], cs[b].W[ib]
 							w := wa * wb
-							// viscous block
 							for j := 0; j < 3; j++ {
-								v := w * Av[3*a+i][3*b+j]
+								v := w * Bd[a][3*b+j]
 								if v == 0 {
 									continue
 								}
 								if bv, is := dofBC(gb, j); is {
-									bb.Add(row, -v*bv)
+									bb.Add(prow, -v*bv)
 								} else {
-									A.AddValue(row, 4*gb+int64(j), v)
+									A.AddValue(prow, 4*gb+int64(j), v)
 								}
 							}
-							// grad-p coupling: entry (v-row (a,i), p-col b)
-							v := w * Bd[b][3*a+i]
+							// stabilization block: -C
+							v := -w * Cs[a][b]
 							if v != 0 {
 								if bv, is := dofBC(gb, 3); is {
-									bb.Add(row, -v*bv)
+									bb.Add(prow, -v*bv)
 								} else {
-									A.AddValue(row, 4*gb+3, v)
+									A.AddValue(prow, 4*gb+3, v)
 								}
 							}
 						}
 					}
 				}
-				// Pressure continuity row.
-				if _, is := dofBC(ga, 3); is {
-					continue
-				}
-				prow := 4*ga + 3
-				for b := 0; b < 8; b++ {
-					for ib := 0; ib < int(cs[b].N); ib++ {
-						gb, wb := cs[b].GID[ib], cs[b].W[ib]
-						w := wa * wb
-						for j := 0; j < 3; j++ {
-							v := w * Bd[a][3*b+j]
-							if v == 0 {
-								continue
-							}
-							if bv, is := dofBC(gb, j); is {
-								bb.Add(prow, -v*bv)
-							} else {
-								A.AddValue(prow, 4*gb+int64(j), v)
-							}
-						}
-						// stabilization block: -C
-						v := -w * Cs[a][b]
-						if v != 0 {
-							if bv, is := dofBC(gb, 3); is {
-								bb.Add(prow, -v*bv)
-							} else {
-								A.AddValue(prow, 4*gb+3, v)
-							}
-						}
-					}
+			}
+		}
+		// Identity rows for constrained dofs owned here.
+		for i := 0; i < m.NumOwned; i++ {
+			g := m.Offset + int64(i)
+			for c := 0; c < 4; c++ {
+				if _, is := dofBC(g, c); is {
+					A.AddValue(4*g+int64(c), 4*g+int64(c), 1)
 				}
 			}
 		}
-	}
-	// Identity rows for constrained dofs owned here.
-	for i := 0; i < m.NumOwned; i++ {
-		g := m.Offset + int64(i)
-		for c := 0; c < 4; c++ {
-			if _, is := dofBC(g, c); is {
-				A.AddValue(4*g+int64(c), 4*g+int64(c), 1)
+		A.Assemble()
+		b := bb.Finalize()
+		for i := 0; i < m.NumOwned; i++ {
+			g := m.Offset + int64(i)
+			for c := 0; c < 4; c++ {
+				if v, is := dofBC(g, c); is {
+					b.Data[4*i+c] = v
+				}
 			}
 		}
+		s.A, s.B = A, b
+		s.Op = A
 	}
-	A.Assemble()
-	b := bb.Finalize()
-	for i := 0; i < m.NumOwned; i++ {
-		g := m.Offset + int64(i)
-		for c := 0; c < 4; c++ {
-			if v, is := dofBC(g, c); is {
-				b.Data[4*i+c] = v
-			}
-		}
-	}
-	s.A, s.B = A, b
 
 	// --- Preconditioner ---------------------------------------------
 
@@ -321,9 +341,10 @@ func (s *System) Precond() krylov.Operator {
 	})
 }
 
-// Solve runs preconditioned MINRES from the initial guess in x.
+// Solve runs preconditioned MINRES from the initial guess in x, using
+// the assembled or matrix-free operator per Options.MatrixFree.
 func (s *System) Solve(x *la.Vec, rtol float64, maxIt int) krylov.Result {
-	return krylov.MINRES(s.A, s.Precond(), s.B, x, rtol, maxIt)
+	return krylov.MINRES(s.Op, s.Precond(), s.B, x, rtol, maxIt)
 }
 
 // SplitSolution extracts nodal velocity components and pressure from the
