@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 2,5,6,7,8,9,10,sec6,12,sec7,matfree or all")
+	fig := flag.String("fig", "all", "which experiment: 2,5,6,7,8,9,10,sec6,12,sec7,matfree,gmg or all")
 	scaleFlag := flag.String("scale", "small", "small or full")
 	flag.Parse()
 
@@ -56,5 +56,9 @@ func main() {
 		experiments.Sec7DGWeakScaling(scale).Print(w)
 	})
 	run("matfree", func() { experiments.FigMatFreeThroughput(scale).Print(w) })
+	run("gmg", func() {
+		t, _ := experiments.FigGMGIterations(scale)
+		t.Print(w)
+	})
 	fmt.Fprintln(w)
 }

@@ -9,10 +9,12 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"os"
 
 	"rhea/internal/fem"
 	"rhea/internal/rhea"
 	"rhea/internal/sim"
+	"rhea/internal/stokes"
 )
 
 func main() {
@@ -24,7 +26,19 @@ func main() {
 	ra := flag.Float64("ra", 1e6, "Rayleigh number")
 	sigmaY := flag.Float64("yield", 1e3, "yield stress (0 = no yielding)")
 	matfree := flag.Bool("matfree", false, "apply the Stokes operator matrix-free instead of assembling the coupled CSR")
+	precond := flag.String("precond", "amg", "velocity-block preconditioner: amg (assembled) or gmg (matrix-free geometric multigrid)")
 	flag.Parse()
+
+	var pk stokes.PrecondKind
+	switch *precond {
+	case "amg":
+		pk = stokes.PrecondAMG
+	case "gmg":
+		pk = stokes.PrecondGMG
+	default:
+		fmt.Printf("unknown -precond %q (want amg or gmg)\n", *precond)
+		os.Exit(2)
+	}
 
 	cfg := rhea.Config{
 		Dom: fem.Domain{Box: [3]float64{8, 4, 1}},
@@ -45,6 +59,7 @@ func main() {
 		MinresTol:   1e-6,
 		MinresMax:   800,
 		MatrixFree:  *matfree,
+		Precond:     pk,
 	}
 
 	fmt.Printf("RHEA: %d ranks, Ra=%.1e, yield=%.1e, levels %d..%d, target %d elements\n",

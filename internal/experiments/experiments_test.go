@@ -256,6 +256,37 @@ func TestMatFreeThroughputAtLeastMatches(t *testing.T) {
 	}
 }
 
+// TestGMGIterationsLevelIndependent checks the headline claim of the
+// geometric-multigrid preconditioner: MINRES iteration counts grow by at
+// most 20% from the coarsest to the finest tested refinement level (the
+// paper's algorithmic-scalability property), every solve converges, and
+// the hierarchy keeps assembling only a (small) coarsest level as the
+// fine mesh grows.
+func TestGMGIterationsLevelIndependent(t *testing.T) {
+	skipIfShort(t)
+	_, cases := FigGMGIterations(Small)
+	if len(cases) < 2 {
+		t.Fatalf("need at least 2 levels, got %d", len(cases))
+	}
+	for _, c := range cases {
+		t.Logf("level %d: elems %d dof %d gmg-levels %d coarse-nodes %d iters amg/gmg %d/%d",
+			c.Level, c.Elems, c.Dof, c.GMGLevels, c.CoarseNodes, c.AMGIters, c.GMGIters)
+		if !c.AMGConv || !c.GMGConv {
+			t.Fatalf("level %d: solve did not converge (amg=%v gmg=%v)", c.Level, c.AMGConv, c.GMGConv)
+		}
+		// The coarsest level must stay small relative to the fine mesh:
+		// only it is ever assembled.
+		if c.CoarseNodes*8 > c.Dof/4 {
+			t.Errorf("level %d: coarsest level too large (%d nodes vs %d fine)", c.Level, c.CoarseNodes, c.Dof/4)
+		}
+	}
+	first, last := cases[0], cases[len(cases)-1]
+	if float64(last.GMGIters) > 1.2*float64(first.GMGIters) {
+		t.Errorf("GMG iterations grow too fast across levels: %d -> %d (> 20%%)",
+			first.GMGIters, last.GMGIters)
+	}
+}
+
 func TestSec7KernelsAndScaling(t *testing.T) {
 	tb := Sec7MatrixVsTensor(Small)
 	rs := rows(t, tb)

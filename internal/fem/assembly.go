@@ -58,6 +58,13 @@ type BCData struct {
 // IsSet reports whether gid is constrained.
 func (b *BCData) IsSet(g int64) bool { return b.Flag[g] != 0 }
 
+// GatherBC evaluates bc at every owned node and distributes flags and
+// values to all referencing ranks (collective). Matrix-free operators use
+// it to build their constraint masks without assembling anything.
+func GatherBC(m *mesh.Mesh, dom Domain, bc ScalarBC) *BCData {
+	return gatherBC(m, dom, bc)
+}
+
 // gatherBC evaluates bc at every owned node and distributes flags and
 // values to all referencing ranks (collective).
 func gatherBC(m *mesh.Mesh, dom Domain, bc ScalarBC) *BCData {

@@ -1,0 +1,180 @@
+package fem
+
+import (
+	"fmt"
+	"sort"
+
+	"rhea/internal/la"
+	"rhea/internal/mesh"
+	"rhea/internal/morton"
+)
+
+// Transfer is the grid-transfer pair between two extracted meshes of the
+// same domain, the coarse one obtained by octree coarsening of the fine
+// one (octree.CoarsenedCopy): prolongation evaluates the coarse finite-
+// element field — hanging-node constraints included — at every fine
+// independent node, and restriction is its exact transpose. Both are
+// stored as one stencil table (per fine owned node: coarse master slots
+// and trilinear weights), so applying either direction is a stencil
+// sweep plus one ghost exchange on the coarse layout; no matrix is ever
+// assembled. Coarse masters referenced across rank boundaries are
+// handled by the same la.GhostExchange plan in both directions.
+//
+// Because the stencils interpolate the constrained trilinear space,
+// prolongation reproduces globally linear functions exactly, including
+// across hanging-node interfaces — the property that makes the pair
+// usable inside geometric multigrid.
+type Transfer struct {
+	coarseL *la.Layout
+
+	// Stencil of fine owned node i: entries [ptr[i], ptr[i+1]) of
+	// (slot, w) in coarse slot space (owned coarse nodes first, ghosts
+	// after, as in matfree's compact numbering).
+	ptr  []int32
+	slot []int32
+	w    []float64
+
+	gx      *la.GhostExchange
+	nCoarse int       // coarse owned nodes
+	buf     []float64 // coarse slot-space work buffer
+}
+
+// findContaining returns the index into leaves (sorted along the Morton
+// curve) of the leaf that contains octant o, or -1.
+func findContaining(leaves []morton.Octant, o morton.Octant) int {
+	k := o.Key()
+	i := sort.Search(len(leaves), func(i int) bool { return leaves[i].Key() > k })
+	if i == 0 {
+		return -1
+	}
+	if leaves[i-1].ContainsOrEqual(o) {
+		return i - 1
+	}
+	return -1
+}
+
+// NewTransfer builds the transfer stencils from the coarse mesh to the
+// fine mesh (collective). Both meshes must come from trees with identical
+// per-rank curve coverage — true by construction for octree.CoarsenedCopy
+// — so the coarse element containing a fine owned node is always local.
+func NewTransfer(fine, coarse *mesh.Mesh) *Transfer {
+	t := &Transfer{coarseL: coarse.Layout(), nCoarse: coarse.NumOwned}
+
+	// Build the raw stencils over coarse global ids.
+	type entry struct {
+		g int64
+		w float64
+	}
+	stencils := make([][]entry, fine.NumOwned)
+	ghostSet := map[int64]struct{}{}
+	acc := map[int64]float64{}
+	for i, P := range fine.OwnedPos {
+		// The finest-level cell in the most-positive direction from P
+		// (clamped at the domain boundary) determines P's owner rank, so
+		// its containing coarse leaf is local (identical curve coverage).
+		var q [3]uint32
+		for a := 0; a < 3; a++ {
+			q[a] = P[a]
+			if q[a] >= morton.RootLen {
+				q[a] = morton.RootLen - 1
+			}
+		}
+		ci := findContaining(coarse.Leaves, morton.Octant{X: q[0], Y: q[1], Z: q[2], Level: morton.MaxLevel})
+		if ci < 0 {
+			panic(fmt.Sprintf("fem: fine node %v has no local coarse element (meshes not coverage-aligned?)", P))
+		}
+		leaf := coarse.Leaves[ci]
+		L := float64(leaf.Len())
+		xi := [3]float64{
+			(float64(P[0]) - float64(leaf.X)) / L,
+			(float64(P[1]) - float64(leaf.Y)) / L,
+			(float64(P[2]) - float64(leaf.Z)) / L,
+		}
+		// Combine the trilinear corner weights with the coarse corner
+		// constraints: the stencil runs over independent coarse nodes.
+		for k := range acc {
+			delete(acc, k)
+		}
+		for c := 0; c < 8; c++ {
+			wc := ShapeValue(c, xi)
+			if wc == 0 {
+				continue
+			}
+			co := &coarse.Corners[ci][c]
+			for k := 0; k < int(co.N); k++ {
+				acc[co.GID[k]] += wc * co.W[k]
+			}
+		}
+		st := make([]entry, 0, len(acc))
+		for g, w := range acc {
+			if w == 0 {
+				continue
+			}
+			st = append(st, entry{g, w})
+			if !t.coarseL.Owns(g) {
+				ghostSet[g] = struct{}{}
+			}
+		}
+		// Deterministic order (map iteration is randomized).
+		sort.Slice(st, func(a, b int) bool { return st[a].g < st[b].g })
+		stencils[i] = st
+	}
+
+	// Coarse slot numbering: owned first, then ghosts in exchange order.
+	ghosts := make([]int64, 0, len(ghostSet))
+	for g := range ghostSet {
+		ghosts = append(ghosts, g)
+	}
+	t.gx = la.NewGhostExchange(t.coarseL, ghosts, 1)
+	slotOf := make(map[int64]int32, t.nCoarse+t.gx.NumGhosts())
+	start := t.coarseL.Start()
+	for s, g := range t.gx.Ghosts() {
+		slotOf[g] = int32(t.nCoarse + s)
+	}
+
+	t.ptr = make([]int32, fine.NumOwned+1)
+	for i, st := range stencils {
+		t.ptr[i+1] = t.ptr[i] + int32(len(st))
+		for _, e := range st {
+			if t.coarseL.Owns(e.g) {
+				t.slot = append(t.slot, int32(e.g-start))
+			} else {
+				t.slot = append(t.slot, slotOf[e.g])
+			}
+			t.w = append(t.w, e.w)
+		}
+	}
+	t.buf = make([]float64, t.nCoarse+t.gx.NumGhosts())
+	return t
+}
+
+// Prolong interpolates the coarse nodal field xc to the fine nodes,
+// writing xf (collective: one coarse ghost gather).
+func (t *Transfer) Prolong(xc, xf *la.Vec) {
+	copy(t.buf[:t.nCoarse], xc.Data)
+	t.gx.Gather(xc.Data, t.buf[t.nCoarse:])
+	for i := range xf.Data {
+		var s float64
+		for k := t.ptr[i]; k < t.ptr[i+1]; k++ {
+			s += t.w[k] * t.buf[t.slot[k]]
+		}
+		xf.Data[i] = s
+	}
+}
+
+// Restrict applies the exact transpose of Prolong: fine nodal values are
+// scatter-added through the same stencils into the coarse nodes
+// (collective: one coarse ghost scatter-add).
+func (t *Transfer) Restrict(rf, rc *la.Vec) {
+	for i := range t.buf {
+		t.buf[i] = 0
+	}
+	for i := range rf.Data {
+		v := rf.Data[i]
+		for k := t.ptr[i]; k < t.ptr[i+1]; k++ {
+			t.buf[t.slot[k]] += t.w[k] * v
+		}
+	}
+	copy(rc.Data, t.buf[:t.nCoarse])
+	t.gx.ScatterAdd(t.buf[t.nCoarse:], rc.Data)
+}

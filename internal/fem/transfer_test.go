@@ -1,0 +1,129 @@
+package fem
+
+// Property tests for the grid-transfer pair used by geometric multigrid:
+// on randomized adaptively refined trees, across several rank counts,
+// restriction must be the exact transpose of prolongation, and
+// prolongation must reproduce globally linear functions exactly —
+// including across hanging-node interfaces. Every case runs with a fixed
+// seed logged via t.Logf, so a CI failure is replayable verbatim.
+
+import (
+	"math"
+	"testing"
+
+	"rhea/internal/la"
+	"rhea/internal/mesh"
+	"rhea/internal/morton"
+	"rhea/internal/octree"
+	"rhea/internal/sim"
+)
+
+// hash01 is a deterministic hash-based uniform in [0,1): the same value
+// for the same (seed, key) on every rank, so randomized refinement and
+// test vectors are globally consistent regardless of the partition.
+func hash01(seed, key uint64) float64 {
+	z := seed*0x9e3779b97f4a7c15 + key
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// randomMeshPair builds a randomly refined fine mesh and its coarsened
+// multigrid companion (fine tree CoarsenedCopy), both extracted.
+func randomMeshPair(r *sim.Rank, seed uint64) (fine, coarse *mesh.Mesh) {
+	tr := octree.New(r, 2)
+	// Two rounds of randomized refinement keyed on the octant, creating
+	// hanging faces and edges after balancing.
+	for round := 0; round < 2; round++ {
+		rd := uint64(round)
+		tr.Refine(func(o morton.Octant) bool {
+			return hash01(seed+rd, o.Key()) < 0.25
+		})
+		tr.Balance()
+	}
+	tr.Partition()
+	fine = mesh.Extract(tr)
+	ctr, _ := tr.CoarsenedCopy()
+	coarse = mesh.Extract(ctr)
+	return fine, coarse
+}
+
+// TestTransferTransposePair: <P xc, yf> must equal <xc, R yf> to rounding
+// for randomized vectors — the restriction really is the transpose of the
+// prolongation, including the distributed ghost scatter paths.
+func TestTransferTransposePair(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		for _, seed := range []uint64{11, 12, 13} {
+			t.Logf("case: ranks=%d seed=%d", p, seed)
+			sim.Run(p, func(r *sim.Rank) {
+				fine, coarse := randomMeshPair(r, seed)
+				tr := NewTransfer(fine, coarse)
+
+				xc := la.NewVec(coarse.Layout())
+				for i := range xc.Data {
+					xc.Data[i] = 2*hash01(seed, uint64(coarse.Offset)+uint64(i)) - 1
+				}
+				yf := la.NewVec(fine.Layout())
+				for i := range yf.Data {
+					yf.Data[i] = 2*hash01(seed+7, uint64(fine.Offset)+uint64(i)) - 1
+				}
+				pxc := la.NewVec(fine.Layout())
+				tr.Prolong(xc, pxc)
+				ryf := la.NewVec(coarse.Layout())
+				tr.Restrict(yf, ryf)
+				d1 := pxc.Dot(yf)
+				d2 := xc.Dot(ryf)
+				scale := math.Max(math.Abs(d1), 1)
+				if math.Abs(d1-d2)/scale > 1e-12 {
+					t.Errorf("ranks=%d seed=%d: transpose violated: <Pxc,yf>=%v <xc,Ryf>=%v", p, seed, d1, d2)
+				}
+			})
+		}
+	}
+}
+
+// TestTransferReproducesLinears: interpolating a globally linear coarse
+// nodal field must give exactly that linear at every fine node — the
+// consistency property hanging-node constraints must not break.
+func TestTransferReproducesLinears(t *testing.T) {
+	lin := func(x [3]float64) float64 { return 0.5 + 2*x[0] - 3*x[1] + 1.25*x[2] }
+	dom := UnitDomain
+	for _, p := range []int{1, 2, 4} {
+		for _, seed := range []uint64{21, 22, 23} {
+			t.Logf("case: ranks=%d seed=%d", p, seed)
+			sim.Run(p, func(r *sim.Rank) {
+				fine, coarse := randomMeshPair(r, seed)
+				tr := NewTransfer(fine, coarse)
+
+				xc := la.NewVec(coarse.Layout())
+				for i, pos := range coarse.OwnedPos {
+					xc.Data[i] = lin(dom.Coord(pos))
+				}
+				xf := la.NewVec(fine.Layout())
+				tr.Prolong(xc, xf)
+				var hang int
+				for ei := range fine.Corners {
+					for c := 0; c < 8; c++ {
+						if fine.Corners[ei][c].Hanging {
+							hang++
+						}
+					}
+				}
+				for i, pos := range fine.OwnedPos {
+					want := lin(dom.Coord(pos))
+					if math.Abs(xf.Data[i]-want) > 1e-12 {
+						t.Errorf("ranks=%d seed=%d: linear not reproduced at %v: got %v want %v",
+							p, seed, pos, xf.Data[i], want)
+						return
+					}
+				}
+				// The randomized trees must actually exercise hanging nodes
+				// somewhere (with multiplicity over ranks this is robust).
+				if total := fine.Rank.AllreduceInt64(int64(hang)); total == 0 && r.ID() == 0 {
+					t.Errorf("ranks=%d seed=%d: no hanging corners — case too weak", p, seed)
+				}
+			})
+		}
+	}
+}

@@ -3,7 +3,6 @@ package field
 import (
 	"math/rand"
 	"testing"
-	"testing/quick"
 
 	"rhea/internal/morton"
 	"rhea/internal/octree"
@@ -13,10 +12,12 @@ import (
 // Property: any random sequence of coarsen/refine/balance operations,
 // followed by ProjectData and a repartition Transfer, reproduces a linear
 // field exactly at every element corner (trilinear transfer operators are
-// exact on linears).
+// exact on linears). Fixed per-case seeds, logged so failures are
+// replayable.
 func TestPropertyPipelineExactOnLinear(t *testing.T) {
-	f := func(seed int64) bool {
-		ok := true
+	for _, seed := range []int64{1, 2, 3, 4, 5, 6, 7, 8} {
+		seed := seed
+		t.Logf("case: seed=%d ranks=3", seed)
 		sim.Run(3, func(r *sim.Rank) {
 			rng := rand.New(rand.NewSource(seed)) // same on all ranks
 			tr := octree.New(r, 2)
@@ -63,15 +64,12 @@ func TestPropertyPipelineExactOnLinear(t *testing.T) {
 						tol = 1e-6 * (1 - want)
 					}
 					if diff > tol {
-						ok = false
+						t.Errorf("seed %d: linear not reproduced at element %d corner %d: got %v want %v",
+							seed, ei, c, data[ei][c], want)
 						return
 					}
 				}
 			}
 		})
-		return ok
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
-		t.Fatal(err)
 	}
 }

@@ -82,6 +82,25 @@ func minI64(a, b int64) int64 {
 	return b
 }
 
+// CoarsenedCopy returns a new forest one geometric level coarser: every
+// complete locally owned family is merged into its parent, then 2:1
+// balance is restored (collective). The receiver is unchanged. Families
+// split across rank boundaries stay refined, preserving each rank's curve
+// coverage — the invariant multigrid level extraction needs. The second
+// return is the number of families merged globally; zero means the forest
+// cannot be coarsened further under the current partition.
+func (f *Forest) CoarsenedCopy() (*Forest, int64) {
+	c := &Forest{Conn: f.Conn, rank: f.rank}
+	c.leaves = append([]Octant(nil), f.leaves...)
+	c.updateStarts()
+	n := c.Coarsen(func(Octant) bool { return true })
+	merged := f.rank.AllreduceInt64(int64(n))
+	if merged > 0 {
+		c.Balance()
+	}
+	return c, merged
+}
+
 // Rank returns the communicator rank.
 func (f *Forest) Rank() *sim.Rank { return f.rank }
 

@@ -234,6 +234,47 @@ func TestCoarsenFamilies(t *testing.T) {
 	})
 }
 
+// CoarsenedCopy must produce a strictly coarser, balanced forest while
+// leaving the receiver untouched and preserving each rank's curve
+// coverage (first leaf position unchanged) — the invariants multigrid
+// level extraction depends on.
+func TestCoarsenedCopy(t *testing.T) {
+	c := BrickConnectivity(2, 1, 1)
+	for _, p := range []int{1, 3} {
+		sim.Run(p, func(r *sim.Rank) {
+			f := New(r, c, 2)
+			f.Refine(func(o Octant) bool { return o.Tree == 0 && o.O.X == 0 && o.O.Y == 0 && o.O.Z == 0 })
+			f.Balance()
+			n0 := f.NumGlobal()
+			leaves0 := append([]Octant(nil), f.Leaves()...)
+
+			cc, merged := f.CoarsenedCopy()
+			if merged == 0 {
+				t.Errorf("p=%d: no families merged", p)
+			}
+			if g := cc.NumGlobal(); g >= n0 {
+				t.Errorf("p=%d: copy not coarser: %d -> %d", p, n0, g)
+			}
+			if err := cc.CheckLocalOrder(); err != nil {
+				t.Errorf("p=%d: %v", p, err)
+			}
+			if len(f.Leaves()) != len(leaves0) {
+				t.Fatalf("p=%d: receiver mutated", p)
+			}
+			for i, o := range f.Leaves() {
+				if o != leaves0[i] {
+					t.Fatalf("p=%d: receiver leaf %d changed", p, i)
+				}
+			}
+			if len(leaves0) > 0 && len(cc.Leaves()) > 0 {
+				if g0, g1 := gpos(leaves0[0]), gpos(cc.Leaves()[0]); g0 != g1 {
+					t.Errorf("p=%d: curve coverage moved: %d -> %d", p, g0, g1)
+				}
+			}
+		})
+	}
+}
+
 func TestTreeCoordGeometry(t *testing.T) {
 	c := CubedSphere(1)
 	// Tree corner at inner radius maps to radius ~1, outer to ~2.

@@ -1,0 +1,233 @@
+// Package gmg implements a matrix-free geometric multigrid preconditioner
+// for the velocity block of the Stokes system — the paper-scale
+// alternative to the assembled AMG hierarchies of package amg. The level
+// hierarchy is the octree itself: each coarser level is a CoarsenedCopy
+// of the finer tree (complete families merged, 2:1 balance restored) with
+// its own extracted mesh, and grid transfer is the trilinear stencil pair
+// fem.Transfer (prolongation interpolates the constrained coarse space,
+// restriction is its exact transpose). Smoothing is Chebyshev-accelerated
+// Jacobi driven by a matrix-free operator diagonal
+// (fem.AssembleScalarDiag); the level operators apply the variable-
+// viscosity stiffness per element from cached unit kernels, sharing
+// matfree's compact slot numbering and ghost-exchange machinery. Only the
+// coarsest level assembles a CSR, solved by one redundant AMG hierarchy
+// (package amg) — so with a matrix-free Stokes apply the whole solve
+// never assembles a fine-level matrix, and setup cost is dominated by the
+// (geometrically decaying) coarse mesh extractions instead of fine
+// assembly.
+package gmg
+
+import (
+	"rhea/internal/amg"
+	"rhea/internal/fem"
+	"rhea/internal/krylov"
+	"rhea/internal/la"
+	"rhea/internal/matfree"
+	"rhea/internal/mesh"
+	"rhea/internal/octree"
+)
+
+// Options tunes hierarchy depth, smoothing and the coarse solve.
+type Options struct {
+	// MaxLevels caps the number of mesh levels (default 25).
+	MaxLevels int
+	// CoarseElems stops coarsening once the global element count is at
+	// or below this (default 32); that level assembles its CSR and is
+	// solved by one redundant AMG hierarchy.
+	CoarseElems int64
+	// PreSmooth/PostSmooth are the Chebyshev applications before/after
+	// the coarse correction (default 1 each).
+	PreSmooth, PostSmooth int
+	// ChebDegree is the number of operator applies per Chebyshev
+	// application (default 3).
+	ChebDegree int
+	// ChebRatio sets the targeted interval [1.1*lmax/ratio, 1.1*lmax]
+	// (default 4).
+	ChebRatio float64
+	// PowerIters is the power-iteration count for the per-level lambda_max
+	// estimate (default 10).
+	PowerIters int
+	// AMG tunes the coarsest-level assembled solve.
+	AMG amg.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxLevels == 0 {
+		o.MaxLevels = 25
+	}
+	if o.CoarseElems == 0 {
+		o.CoarseElems = 32
+	}
+	if o.PreSmooth == 0 {
+		o.PreSmooth = 1
+	}
+	if o.PostSmooth == 0 {
+		o.PostSmooth = 1
+	}
+	if o.ChebDegree == 0 {
+		o.ChebDegree = 3
+	}
+	if o.ChebRatio == 0 {
+		o.ChebRatio = 4
+	}
+	if o.PowerIters == 0 {
+		o.PowerIters = 10
+	}
+	return o
+}
+
+// level is one mesh level of the hierarchy with its viscosity and cached
+// unit element kernels (viscosity scales linearly, so one [8][8] brick
+// per octree level serves every element of that size).
+type level struct {
+	mesh *mesh.Mesh
+	eta  []float64
+	sm   *matfree.SlotMap
+	kern []*[8][8]float64 // per element, aliased per octree level
+}
+
+func newLevel(m *mesh.Mesh, dom fem.Domain, eta []float64) *level {
+	lv := &level{mesh: m, eta: eta, sm: matfree.NewSlotMap(m, 1)}
+	byLevel := map[uint8]*[8][8]float64{}
+	lv.kern = make([]*[8][8]float64, len(m.Leaves))
+	for ei, leaf := range m.Leaves {
+		k, ok := byLevel[leaf.Level]
+		if !ok {
+			K := fem.StiffnessBrick(dom.ElemSize(leaf), 1)
+			k = &K
+			byLevel[leaf.Level] = k
+		}
+		lv.kern[ei] = k
+	}
+	return lv
+}
+
+// Hierarchy is the geometric level stack shared by the per-component
+// preconditioners: meshes, viscosities and transfer stencils are
+// boundary-condition independent, so they are built once and reused for
+// all three velocity components.
+type Hierarchy struct {
+	dom    fem.Domain
+	opts   Options
+	levels []*level        // levels[0] is the finest (input) mesh
+	trans  []*fem.Transfer // trans[l] couples levels l (fine) and l+1 (coarse)
+	elems  []int64         // global element count per level
+}
+
+// New derives the coarse level stack from the extracted fine mesh
+// (collective): repeated octree CoarsenedCopy + mesh extraction until the
+// global element count falls to Options.CoarseElems, the level cap is
+// hit, or coarsening stops making progress under the partition. etaElem
+// is the fine per-element viscosity; coarse viscosities are volume-
+// weighted averages over the children.
+func New(m *mesh.Mesh, dom fem.Domain, etaElem []float64, opts Options) *Hierarchy {
+	o := opts.withDefaults()
+	h := &Hierarchy{dom: dom, opts: o}
+	h.levels = append(h.levels, newLevel(m, dom, etaElem))
+	tree := octree.FromLeaves(m.Rank, m.Leaves)
+	h.elems = append(h.elems, tree.NumGlobal())
+
+	for len(h.levels) < o.MaxLevels && h.elems[len(h.elems)-1] > o.CoarseElems {
+		ctree, merged := tree.CoarsenedCopy()
+		ce := ctree.NumGlobal()
+		// Stop when coarsening makes no progress: no family merged, or
+		// balance re-split everything (rank-boundary families never merge,
+		// so the count can stall above CoarseElems).
+		if merged == 0 || ce >= h.elems[len(h.elems)-1] {
+			break
+		}
+		fine := h.levels[len(h.levels)-1]
+		cm := mesh.Extract(ctree)
+		ceta := restrictEta(fine.mesh, cm, fine.eta)
+		h.trans = append(h.trans, fem.NewTransfer(fine.mesh, cm))
+		h.levels = append(h.levels, newLevel(cm, dom, ceta))
+		h.elems = append(h.elems, ce)
+		tree = ctree
+	}
+	return h
+}
+
+// restrictEta volume-averages the fine per-element viscosity onto the
+// coarse elements (local: coverage alignment makes every fine leaf's
+// coarse container local).
+func restrictEta(fine, coarse *mesh.Mesh, eta []float64) []float64 {
+	sumW := make([]float64, len(coarse.Leaves))
+	sumE := make([]float64, len(coarse.Leaves))
+	for ei, leaf := range fine.Leaves {
+		ci := findLeaf(coarse, leaf)
+		w := float64(leaf.Len())
+		w = w * w * w
+		sumW[ci] += w
+		sumE[ci] += w * eta[ei]
+	}
+	out := make([]float64, len(coarse.Leaves))
+	for ci := range out {
+		if sumW[ci] > 0 {
+			out[ci] = sumE[ci] / sumW[ci]
+		} else {
+			out[ci] = 1
+		}
+	}
+	return out
+}
+
+// NumLevels returns the hierarchy depth (1 = no coarsening happened).
+func (h *Hierarchy) NumLevels() int { return len(h.levels) }
+
+// LevelElems returns the global element count per level, finest first.
+func (h *Hierarchy) LevelElems() []int64 { return append([]int64(nil), h.elems...) }
+
+// CoarseNodes returns the global node count of the coarsest level — the
+// only level whose operator is ever assembled.
+func (h *Hierarchy) CoarseNodes() int64 { return h.levels[len(h.levels)-1].mesh.NGlobal }
+
+// Precond builds the matrix-free V-cycle preconditioner for one scalar
+// velocity component with the given Dirichlet set (collective: it
+// gathers BC masks, computes matrix-free diagonals and lambda_max
+// estimates per level, and assembles + gathers the coarsest CSR). The
+// result implements krylov.Operator and is SPD: symmetric Chebyshev
+// smoothing, transpose transfer pair, symmetric coarse solve.
+func (h *Hierarchy) Precond(bc fem.ScalarBC) krylov.Operator {
+	c := &Component{h: h}
+	last := len(h.levels) - 1
+	for l, lv := range h.levels {
+		layout := lv.mesh.Layout()
+		c.b = append(c.b, la.NewVec(layout))
+		c.x = append(c.x, la.NewVec(layout))
+		if l == last {
+			// Coarsest level: assembled CSR, redundant AMG solve.
+			eta := lv.eta
+			Ac, _, _ := fem.AssembleScalar(lv.mesh, h.dom,
+				func(ei int, hh [3]float64) [8][8]float64 {
+					return fem.StiffnessBrick(hh, eta[ei])
+				}, nil, bc)
+			c.coarse = amg.NewRedundant(Ac, h.opts.AMG)
+			bcd := fem.GatherBC(lv.mesh, h.dom, bc)
+			c.ops = append(c.ops, newLevelOp(lv, bcd))
+			break
+		}
+		bcd := fem.GatherBC(lv.mesh, h.dom, bc)
+		op := newLevelOp(lv, bcd)
+		c.ops = append(c.ops, op)
+		eta := lv.eta
+		diag := fem.AssembleScalarDiag(lv.mesh, h.dom,
+			func(ei int, hh [3]float64) [8][8]float64 {
+				return fem.StiffnessBrick(hh, eta[ei])
+			}, bcd)
+		dinv := la.NewVec(layout)
+		for i, v := range diag.Data {
+			if v != 0 {
+				dinv.Data[i] = 1 / v
+			} else {
+				dinv.Data[i] = 1
+			}
+		}
+		c.dinv = append(c.dinv, dinv)
+		c.lmax = append(c.lmax, krylov.EstimateLambdaMax(op, dinv, h.opts.PowerIters))
+		c.r = append(c.r, la.NewVec(layout))
+		c.d = append(c.d, la.NewVec(layout))
+		c.z = append(c.z, la.NewVec(layout))
+		c.w = append(c.w, la.NewVec(layout))
+	}
+	return c
+}

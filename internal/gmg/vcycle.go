@@ -1,0 +1,191 @@
+package gmg
+
+import (
+	"fmt"
+	"sort"
+
+	"rhea/internal/fem"
+	"rhea/internal/krylov"
+	"rhea/internal/la"
+	"rhea/internal/mesh"
+	"rhea/internal/morton"
+)
+
+// findLeaf returns the index of the local leaf of m that is o or an
+// ancestor of o; it panics if none exists (hierarchy invariant broken).
+func findLeaf(m *mesh.Mesh, o morton.Octant) int {
+	k := o.Key()
+	i := sort.Search(len(m.Leaves), func(i int) bool { return m.Leaves[i].Key() > k })
+	if i > 0 && m.Leaves[i-1].ContainsOrEqual(o) {
+		return i - 1
+	}
+	panic(fmt.Sprintf("gmg: no local coarse leaf contains %v", o))
+}
+
+// levelOp is the matrix-free constrained scalar stiffness operator of one
+// level for one velocity component: constrained columns read zero,
+// constrained owned rows are identity — exactly the matrix
+// fem.AssembleScalar would build, never assembled. It implements
+// krylov.Operator over the level's node layout.
+type levelOp struct {
+	lv        *level
+	fixedSlot []int32 // slots read as zero
+	ownFixed  []int32 // owned identity rows
+	xbuf      []float64
+	acc       []float64
+}
+
+func newLevelOp(lv *level, bcd *fem.BCData) *levelOp {
+	o := &levelOp{lv: lv}
+	n := lv.sm.NSlots()
+	for s := 0; s < n; s++ {
+		if bcd.IsSet(lv.sm.GIDAt(s)) {
+			o.fixedSlot = append(o.fixedSlot, int32(s))
+			if s < lv.sm.NOwned {
+				o.ownFixed = append(o.ownFixed, int32(s))
+			}
+		}
+	}
+	o.xbuf = make([]float64, n)
+	o.acc = make([]float64, n)
+	return o
+}
+
+// Apply computes y = A x (collective: one ghost gather + scatter-add).
+func (o *levelOp) Apply(x, y *la.Vec) {
+	sm := o.lv.sm
+	n := sm.NOwned
+	copy(o.xbuf[:n], x.Data)
+	sm.GX.Gather(x.Data, o.xbuf[n:])
+	for _, s := range o.fixedSlot {
+		o.xbuf[s] = 0
+	}
+	for i := range o.acc {
+		o.acc[i] = 0
+	}
+	var xe [8]float64
+	for ei := range sm.Corners {
+		cs := &sm.Corners[ei]
+		for a := 0; a < 8; a++ {
+			cr := &cs[a]
+			var v float64
+			for k := 0; k < int(cr.N); k++ {
+				v += cr.W[k] * o.xbuf[cr.Slot[k]]
+			}
+			xe[a] = v
+		}
+		K := o.lv.kern[ei]
+		eta := o.lv.eta[ei]
+		for a := 0; a < 8; a++ {
+			var s float64
+			for b := 0; b < 8; b++ {
+				s += K[a][b] * xe[b]
+			}
+			s *= eta
+			cr := &cs[a]
+			for k := 0; k < int(cr.N); k++ {
+				o.acc[cr.Slot[k]] += cr.W[k] * s
+			}
+		}
+	}
+	copy(y.Data, o.acc[:n])
+	sm.GX.ScatterAdd(o.acc[n:], y.Data)
+	for _, s := range o.ownFixed {
+		y.Data[s] = x.Data[s]
+	}
+}
+
+// Component is the V-cycle preconditioner for one velocity component. It
+// approximates the inverse of the constrained variable-viscosity
+// stiffness operator; Apply runs one V-cycle with zero initial guess
+// (collective), which is SPD and hence safe inside MINRES/CG.
+type Component struct {
+	h      *Hierarchy
+	ops    []*levelOp
+	dinv   []*la.Vec
+	lmax   []float64
+	coarse krylov.Operator
+
+	// per-level work vectors (r,d,z,w only on smoothed levels)
+	b, x, r, d, z, w []*la.Vec
+}
+
+// Apply computes y = M^-1 x: one V-cycle on the homogeneous-Dirichlet
+// error equation, with identity pass-through at constrained dofs to
+// match the assembled preconditioner's identity rows (collective).
+func (c *Component) Apply(x, y *la.Vec) {
+	c.b[0].Copy(x)
+	for _, s := range c.ops[0].ownFixed {
+		c.b[0].Data[s] = 0
+	}
+	c.cycle(0)
+	y.Copy(c.x[0])
+	for _, s := range c.ops[0].ownFixed {
+		y.Data[s] = x.Data[s]
+	}
+}
+
+func (c *Component) cycle(l int) {
+	last := len(c.h.levels) - 1
+	if l == last {
+		c.coarse.Apply(c.b[l], c.x[l])
+		return
+	}
+	// Pre-smooth with zero initial guess.
+	c.x[l].Zero()
+	for s := 0; s < c.h.opts.PreSmooth; s++ {
+		c.chebyshev(l)
+	}
+	// Residual, restricted to the coarse level (Dirichlet rows masked:
+	// the coarse error is zero at constrained nodes).
+	c.ops[l].Apply(c.x[l], c.r[l])
+	c.r[l].Scale(-1)
+	c.r[l].AXPY(1, c.b[l])
+	c.h.trans[l].Restrict(c.r[l], c.b[l+1])
+	for _, s := range c.ops[l+1].ownFixed {
+		c.b[l+1].Data[s] = 0
+	}
+	c.cycle(l + 1)
+	// Prolonged correction (masked at constrained fine dofs).
+	c.h.trans[l].Prolong(c.x[l+1], c.z[l])
+	for _, s := range c.ops[l].ownFixed {
+		c.z[l].Data[s] = 0
+	}
+	c.x[l].AXPY(1, c.z[l])
+	for s := 0; s < c.h.opts.PostSmooth; s++ {
+		c.chebyshev(l)
+	}
+}
+
+// chebyshev runs one Chebyshev(degree) smoothing application on level l,
+// improving x toward A^-1 b on the interval [1.1*lmax/ratio, 1.1*lmax]
+// of the Jacobi-preconditioned spectrum. Each application costs
+// ChebDegree operator applies.
+func (c *Component) chebyshev(l int) {
+	op, x, b := c.ops[l], c.x[l], c.b[l]
+	r, d, z, w := c.r[l], c.d[l], c.z[l], c.w[l]
+	beta := 1.1 * c.lmax[l]
+	alpha := beta / c.h.opts.ChebRatio
+	theta := (beta + alpha) / 2
+	delta := (beta - alpha) / 2
+	sigma := theta / delta
+	rho := 1 / sigma
+
+	op.Apply(x, r)
+	r.Scale(-1)
+	r.AXPY(1, b)
+	z.PointwiseMult(c.dinv[l], r)
+	d.Copy(z)
+	d.Scale(1 / theta)
+	for k := 1; k < c.h.opts.ChebDegree; k++ {
+		x.AXPY(1, d)
+		op.Apply(d, w)
+		r.AXPY(-1, w)
+		z.PointwiseMult(c.dinv[l], r)
+		rhoNew := 1 / (2*sigma - rho)
+		d.Scale(rhoNew * rho)
+		d.AXPY(2*rhoNew/delta, z)
+		rho = rhoNew
+	}
+	x.AXPY(1, d)
+}

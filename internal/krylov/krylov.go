@@ -199,6 +199,35 @@ func DiagOp(inv *la.Vec) Operator {
 	return OpFunc(func(x, y *la.Vec) { y.PointwiseMult(inv, x) })
 }
 
+// EstimateLambdaMax estimates the largest eigenvalue of D^-1 A by power
+// iteration on the distributed operator, where dinv holds the inverse
+// diagonal (collective). It is the setup step of Chebyshev smoothing:
+// the smoother targets the interval (lmax/ratio, 1.1*lmax]. The start
+// vector is a fixed deterministic mix so estimates are reproducible
+// across runs and rank counts.
+func EstimateLambdaMax(A Operator, dinv *la.Vec, iters int) float64 {
+	x := la.NewVec(dinv.Layout)
+	y := la.NewVec(dinv.Layout)
+	start := dinv.Layout.Start()
+	for i := range x.Data {
+		g := float64(start + int64(i))
+		x.Data[i] = 1 + math.Sin(0.7*g)
+	}
+	var lam float64
+	for it := 0; it < iters; it++ {
+		A.Apply(x, y)
+		y.PointwiseMult(dinv, y)
+		nrm := y.Norm2()
+		if nrm == 0 {
+			return 1
+		}
+		lam = nrm
+		x.Copy(y)
+		x.Scale(1 / nrm)
+	}
+	return lam
+}
+
 // Counted wraps an operator and accumulates the number of applies and
 // the wall-clock seconds spent in them — the instrumentation the
 // evaluation layer uses to compare assembled and matrix-free operator

@@ -39,15 +39,6 @@ type Options struct {
 	Workers int
 }
 
-// cornerRef is one element corner resolved to compact node slots: the
-// constrained-corner interpolation of mesh.Corner with global ids
-// replaced by local slot indices (owned nodes first, then ghosts).
-type cornerRef struct {
-	n    int8
-	slot [4]int32
-	w    [4]float64
-}
-
 // Operator is the matrix-free coupled Stokes operator on one rank. It
 // implements krylov.Operator over the interleaved 4N dof layout used by
 // stokes.System.
@@ -56,7 +47,7 @@ type Operator struct {
 	layout  *la.Layout // 4*NumOwned dof layout
 	eta     []float64  // per-element viscosity
 	kern    []*fem.StokesKernels
-	corners [][8]cornerRef
+	corners [][8]CornerRef
 	gx      *la.GhostExchange
 	nOwned  int
 	nSlots  int
@@ -90,55 +81,15 @@ func New(m *mesh.Mesh, dom fem.Domain, layout *la.Layout, etaElem []float64, bc 
 	}
 
 	// Compact slot numbering: owned nodes at gid-Offset, ghosts after.
-	ghostSet := map[int64]struct{}{}
-	for ei := range m.Corners {
-		for c := 0; c < 8; c++ {
-			co := &m.Corners[ei][c]
-			for k := 0; k < int(co.N); k++ {
-				if g := co.GID[k]; g < m.Offset || g >= m.Offset+int64(m.NumOwned) {
-					ghostSet[g] = struct{}{}
-				}
-			}
-		}
-	}
-	ghosts := make([]int64, 0, len(ghostSet))
-	for g := range ghostSet {
-		ghosts = append(ghosts, g)
-	}
-	nodeLayout := la.NewLayout(m.Rank, m.NumOwned)
-	op.gx = la.NewGhostExchange(nodeLayout, ghosts, 4)
-	op.nSlots = m.NumOwned + op.gx.NumGhosts()
-	slotOf := make(map[int64]int32, op.nSlots)
-	for i := 0; i < m.NumOwned; i++ {
-		slotOf[m.Offset+int64(i)] = int32(i)
-	}
-	for s, g := range op.gx.Ghosts() {
-		slotOf[g] = int32(m.NumOwned + s)
-	}
-
-	op.corners = make([][8]cornerRef, len(m.Leaves))
-	for ei := range m.Corners {
-		for c := 0; c < 8; c++ {
-			co := &m.Corners[ei][c]
-			cr := cornerRef{n: co.N}
-			for k := 0; k < int(co.N); k++ {
-				cr.slot[k] = slotOf[co.GID[k]]
-				cr.w[k] = co.W[k]
-			}
-			op.corners[ei][c] = cr
-		}
-	}
+	sm := NewSlotMap(m, 4)
+	op.gx = sm.GX
+	op.nSlots = sm.NSlots()
+	op.corners = sm.Corners
 
 	// Constraint tables in slot space.
 	op.bcval = make([]float64, op.nSlots*4)
-	gidAt := func(s int) int64 {
-		if s < m.NumOwned {
-			return m.Offset + int64(s)
-		}
-		return op.gx.Ghosts()[s-m.NumOwned]
-	}
 	for s := 0; s < op.nSlots; s++ {
-		g := gidAt(s)
+		g := sm.GIDAt(s)
 		for c := 0; c < 4; c++ {
 			if v, is := bc(g, c); is {
 				op.fixedIdx = append(op.fixedIdx, int32(4*s+c))
@@ -191,9 +142,9 @@ func (op *Operator) elementLoop(lo, hi int, src, dst []float64) {
 		for a := 0; a < 8; a++ {
 			cr := &cs[a]
 			var v0, v1, v2, v3 float64
-			for k := 0; k < int(cr.n); k++ {
-				base := int(cr.slot[k]) * 4
-				w := cr.w[k]
+			for k := 0; k < int(cr.N); k++ {
+				base := int(cr.Slot[k]) * 4
+				w := cr.W[k]
 				v0 += w * src[base]
 				v1 += w * src[base+1]
 				v2 += w * src[base+2]
@@ -204,9 +155,9 @@ func (op *Operator) elementLoop(lo, hi int, src, dst []float64) {
 		op.kern[ei].Apply(op.eta[ei], &xe, &ye)
 		for a := 0; a < 8; a++ {
 			cr := &cs[a]
-			for k := 0; k < int(cr.n); k++ {
-				base := int(cr.slot[k]) * 4
-				w := cr.w[k]
+			for k := 0; k < int(cr.N); k++ {
+				base := int(cr.Slot[k]) * 4
+				w := cr.W[k]
 				dst[base] += w * ye[4*a]
 				dst[base+1] += w * ye[4*a+1]
 				dst[base+2] += w * ye[4*a+2]
@@ -301,9 +252,9 @@ func (op *Operator) RHS(force [][8][3]float64) *la.Vec {
 		for a := 0; a < 8; a++ {
 			cr := &cs[a]
 			var v0, v1, v2, v3 float64
-			for k := 0; k < int(cr.n); k++ {
-				base := int(cr.slot[k]) * 4
-				w := cr.w[k]
+			for k := 0; k < int(cr.N); k++ {
+				base := int(cr.Slot[k]) * 4
+				w := cr.W[k]
 				v0 += w * lift[base]
 				v1 += w * lift[base+1]
 				v2 += w * lift[base+2]
@@ -335,9 +286,9 @@ func (op *Operator) RHS(force [][8][3]float64) *la.Vec {
 		}
 		for a := 0; a < 8; a++ {
 			cr := &cs[a]
-			for k := 0; k < int(cr.n); k++ {
-				base := int(cr.slot[k]) * 4
-				w := cr.w[k]
+			for k := 0; k < int(cr.N); k++ {
+				base := int(cr.Slot[k]) * 4
+				w := cr.W[k]
 				acc[base] += w * ye[4*a]
 				acc[base+1] += w * ye[4*a+1]
 				acc[base+2] += w * ye[4*a+2]

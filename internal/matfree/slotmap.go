@@ -1,0 +1,85 @@
+package matfree
+
+import (
+	"rhea/internal/la"
+	"rhea/internal/mesh"
+)
+
+// CornerRef is one element corner resolved to compact node slots: the
+// constrained-corner interpolation of mesh.Corner with global ids
+// replaced by local slot indices (owned nodes first, then ghosts).
+type CornerRef struct {
+	N    int8
+	Slot [4]int32
+	W    [4]float64
+}
+
+// SlotMap is the compact per-rank node numbering matrix-free element
+// loops run over: the rank's owned independent nodes first (slot =
+// gid-Offset), then the distinct off-rank master nodes its elements
+// reference, with one la.GhostExchange plan covering the ghost tail in
+// both directions. The coupled Stokes operator (block=4) and the scalar
+// multigrid level operators (block=1) share this structure.
+type SlotMap struct {
+	NOwned  int
+	Corners [][8]CornerRef // aligned with mesh.Leaves
+	GX      *la.GhostExchange
+
+	offset int64
+}
+
+// NewSlotMap builds the slot numbering and ghost-exchange plan for the
+// extracted mesh (collective). block is the number of float64 components
+// carried per node.
+func NewSlotMap(m *mesh.Mesh, block int) *SlotMap {
+	sm := &SlotMap{NOwned: m.NumOwned, offset: m.Offset}
+
+	ghostSet := map[int64]struct{}{}
+	for ei := range m.Corners {
+		for c := 0; c < 8; c++ {
+			co := &m.Corners[ei][c]
+			for k := 0; k < int(co.N); k++ {
+				if g := co.GID[k]; g < m.Offset || g >= m.Offset+int64(m.NumOwned) {
+					ghostSet[g] = struct{}{}
+				}
+			}
+		}
+	}
+	ghosts := make([]int64, 0, len(ghostSet))
+	for g := range ghostSet {
+		ghosts = append(ghosts, g)
+	}
+	sm.GX = la.NewGhostExchange(m.Layout(), ghosts, block)
+	slotOf := make(map[int64]int32, m.NumOwned+sm.GX.NumGhosts())
+	for i := 0; i < m.NumOwned; i++ {
+		slotOf[m.Offset+int64(i)] = int32(i)
+	}
+	for s, g := range sm.GX.Ghosts() {
+		slotOf[g] = int32(m.NumOwned + s)
+	}
+
+	sm.Corners = make([][8]CornerRef, len(m.Leaves))
+	for ei := range m.Corners {
+		for c := 0; c < 8; c++ {
+			co := &m.Corners[ei][c]
+			cr := CornerRef{N: co.N}
+			for k := 0; k < int(co.N); k++ {
+				cr.Slot[k] = slotOf[co.GID[k]]
+				cr.W[k] = co.W[k]
+			}
+			sm.Corners[ei][c] = cr
+		}
+	}
+	return sm
+}
+
+// NSlots returns the total slot count (owned + ghosts).
+func (sm *SlotMap) NSlots() int { return sm.NOwned + sm.GX.NumGhosts() }
+
+// GIDAt returns the global node id occupying a slot.
+func (sm *SlotMap) GIDAt(s int) int64 {
+	if s < sm.NOwned {
+		return sm.offset + int64(s)
+	}
+	return sm.GX.Ghosts()[s-sm.NOwned]
+}

@@ -184,7 +184,9 @@ func TestGlobalIDsContiguous(t *testing.T) {
 		sim.Run(p, func(r *sim.Rank) {
 			tr := buildTree(r, 1, refine, 1)
 			m := Extract(tr)
-			nGlobal = m.NGlobal
+			if r.ID() == 0 { // same value on every rank; avoid racy writes
+				nGlobal = m.NGlobal
+			}
 			col.addMesh(t, m)
 		})
 		seen := map[int64]bool{}
@@ -211,7 +213,9 @@ func TestNGlobalIndependentOfPartition(t *testing.T) {
 		sim.Run(p, func(r *sim.Rank) {
 			tr := buildTree(r, 1, refine, 3)
 			m := Extract(tr)
-			n = m.NGlobal
+			if r.ID() == 0 { // same value on every rank; avoid racy writes
+				n = m.NGlobal
+			}
 		})
 		counts[p] = n
 	}

@@ -88,6 +88,38 @@ func min64(a, b int64) int64 {
 	return b
 }
 
+// FromLeaves builds a tree partition directly from a rank's local leaves
+// (collective: it exchanges the partition markers). The leaves must be
+// sorted along the curve and globally tile the domain; both invariants
+// hold for any slice obtained from another Tree's or Mesh's Leaves. This
+// is how solver layers that only hold an extracted mesh (whose Leaves are
+// exactly the tree leaves) recover a Tree to derive coarser levels from.
+func FromLeaves(r *sim.Rank, leaves []morton.Octant) *Tree {
+	t := &Tree{rank: r}
+	t.leaves = append([]morton.Octant(nil), leaves...)
+	t.updateStarts()
+	return t
+}
+
+// CoarsenedCopy returns a new tree one geometric level coarser: every
+// complete locally owned family of eight siblings is merged into its
+// parent, then the 2:1 balance is restored (collective). The receiver is
+// unchanged. Families split across rank boundaries stay refined, so the
+// copy's per-rank curve coverage is identical to the receiver's — the
+// property geometric-multigrid transfer construction relies on (a fine
+// node's containing coarse leaf is always local). The second return is
+// the number of families merged globally; zero means no progress (the
+// tree is already as coarse as the partition allows).
+func (t *Tree) CoarsenedCopy() (*Tree, int64) {
+	c := FromLeaves(t.rank, t.leaves)
+	n := c.Coarsen(func(morton.Octant, []morton.Octant) bool { return true })
+	merged := t.rank.AllreduceInt64(int64(n))
+	if merged > 0 {
+		c.Balance()
+	}
+	return c, merged
+}
+
 // Rank returns the communicator rank this tree partition belongs to.
 func (t *Tree) Rank() *sim.Rank { return t.rank }
 

@@ -24,6 +24,7 @@ import (
 	"rhea/internal/errind"
 	"rhea/internal/fem"
 	"rhea/internal/field"
+	"rhea/internal/gmg"
 	"rhea/internal/krylov"
 	"rhea/internal/la"
 	"rhea/internal/mesh"
@@ -95,6 +96,13 @@ type Config struct {
 	// MatrixFree applies the coupled Stokes operator by fused per-element
 	// loops instead of an assembled CSR (see stokes.Options.MatrixFree).
 	MatrixFree bool
+	// Precond selects the velocity-block preconditioner: assembled AMG
+	// (default) or the matrix-free geometric multigrid hierarchy.
+	// Combined with MatrixFree the Stokes solve assembles no fine-level
+	// matrix at all.
+	Precond stokes.PrecondKind
+	// GMG tunes the geometric hierarchy when Precond is PrecondGMG.
+	GMG gmg.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -403,7 +411,8 @@ func (s *Sim) SolveStokes() krylov.Result {
 		eta := s.ElementViscosity()
 		force := s.buoyancy()
 		sys := stokes.Assemble(s.Mesh, s.Cfg.Dom, eta, force, bc,
-			stokes.Options{AMG: s.Cfg.AMG, MatrixFree: s.Cfg.MatrixFree})
+			stokes.Options{AMG: s.Cfg.AMG, MatrixFree: s.Cfg.MatrixFree,
+				Precond: s.Cfg.Precond, GMG: s.Cfg.GMG})
 		s.Times.StokesAssemble += time.Since(t0).Seconds()
 
 		t0 = time.Now()

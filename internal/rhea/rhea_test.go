@@ -6,6 +6,7 @@ import (
 
 	"rhea/internal/fem"
 	"rhea/internal/sim"
+	"rhea/internal/stokes"
 )
 
 func blobConfig() Config {
@@ -157,6 +158,37 @@ func TestMatrixFreeCycleDevelopsFlow(t *testing.T) {
 		for _, v := range s.T.Data {
 			if math.IsNaN(v) {
 				t.Fatal("NaN temperature in matrix-free run")
+			}
+		}
+	})
+}
+
+// The fully matrix-free configuration (matfree apply + GMG precond) must
+// drive the application loop — Stokes solve, transport, adaptation,
+// re-solve on the adapted mesh — without assembling any fine-level CSR.
+func TestGMGCycleDevelopsFlow(t *testing.T) {
+	sim.Run(2, func(r *sim.Rank) {
+		cfg := blobConfig()
+		cfg.Visc = TemperatureDependent(1, 2)
+		cfg.MatrixFree = true
+		cfg.Precond = stokes.PrecondGMG
+		s := New(r, cfg)
+		res := s.SolveStokes()
+		if !res.Converged {
+			t.Fatalf("GMG Stokes MINRES failed: %v its, residual %v",
+				res.Iterations, res.Residual)
+		}
+		if v := s.MaxVelocity(); v <= 0 {
+			t.Errorf("no flow developed: max |u| = %v", v)
+		}
+		s.AdvectSteps(3)
+		s.Adapt()
+		if res = s.SolveStokes(); !res.Converged {
+			t.Fatalf("GMG solve failed after adaptation: %v", res.Residual)
+		}
+		for _, v := range s.T.Data {
+			if math.IsNaN(v) {
+				t.Fatal("NaN temperature in GMG run")
 			}
 		}
 	})

@@ -24,6 +24,7 @@ import (
 
 	"rhea/internal/amg"
 	"rhea/internal/fem"
+	"rhea/internal/gmg"
 	"rhea/internal/krylov"
 	"rhea/internal/la"
 	"rhea/internal/matfree"
@@ -74,7 +75,11 @@ type System struct {
 	Op     krylov.Operator   // the operator Solve uses
 	B      *la.Vec           // right-hand side
 
-	velAMG   [3]krylov.Operator // AMG V-cycle per velocity component
+	// GMGH is the geometric multigrid hierarchy backing the velocity
+	// preconditioner when Options.Precond == PrecondGMG (nil otherwise).
+	GMGH *gmg.Hierarchy
+
+	velPC    [3]krylov.Operator // multigrid V-cycle per velocity component
 	schurInv *la.Vec            // nodal inverse of S~ diagonal
 	nOwned   int
 
@@ -82,9 +87,27 @@ type System struct {
 	xc, yc *la.Vec
 }
 
+// PrecondKind selects the velocity-block preconditioner family.
+type PrecondKind int
+
+const (
+	// PrecondAMG (default) assembles one scalar Poisson CSR per velocity
+	// component and runs an algebraic multigrid V-cycle (package amg).
+	PrecondAMG PrecondKind = iota
+	// PrecondGMG runs a matrix-free geometric multigrid V-cycle on the
+	// octree level hierarchy (package gmg): no fine-level velocity CSR is
+	// assembled — only the coarsest level of the hierarchy is.
+	PrecondGMG
+)
+
 // Options tunes assembly and preconditioning.
 type Options struct {
 	AMG amg.Options
+	// Precond selects the velocity-block preconditioner: assembled AMG
+	// (default) or the matrix-free geometric multigrid of package gmg.
+	Precond PrecondKind
+	// GMG tunes the geometric hierarchy when Precond == PrecondGMG.
+	GMG gmg.Options
 	// LocalAMG selects per-rank block-Jacobi AMG hierarchies for the
 	// velocity blocks instead of the default globally consistent
 	// (redundant) hierarchy. Cheaper setup, but Krylov iteration counts
@@ -271,9 +294,16 @@ func Assemble(m *mesh.Mesh, dom fem.Domain, etaElem []float64, force [][8][3]flo
 
 	// --- Preconditioner ---------------------------------------------
 
-	// A~: one scalar variable-viscosity Poisson matrix per velocity
-	// component, with that component's Dirichlet set, approximated by a
-	// per-rank AMG V-cycle.
+	// A~: the variable-viscosity vector Laplacian, approximated per
+	// velocity component (with that component's Dirichlet set) by one
+	// multigrid V-cycle. PrecondAMG assembles a scalar Poisson CSR per
+	// component and builds an algebraic hierarchy; PrecondGMG runs the
+	// matrix-free geometric hierarchy instead — the three components
+	// share one level stack, and the only matrix ever assembled is the
+	// coarsest level's.
+	if opts.Precond == PrecondGMG {
+		s.GMGH = gmg.New(m, dom, etaElem, opts.GMG)
+	}
 	for c := 0; c < 3; c++ {
 		c := c
 		compBC := func(x [3]float64) (float64, bool) {
@@ -283,14 +313,18 @@ func Assemble(m *mesh.Mesh, dom fem.Domain, etaElem []float64, force [][8][3]flo
 			}
 			return 0, false
 		}
+		if opts.Precond == PrecondGMG {
+			s.velPC[c] = s.GMGH.Precond(compBC)
+			continue
+		}
 		Ac, _, _ := fem.AssembleScalar(m, dom,
 			func(ei int, h [3]float64) [8][8]float64 {
 				return fem.StiffnessBrick(h, etaElem[ei])
 			}, nil, compBC)
 		if opts.LocalAMG {
-			s.velAMG[c] = amg.NewBlockJacobi(Ac, opts.AMG)
+			s.velPC[c] = amg.NewBlockJacobi(Ac, opts.AMG)
 		} else {
-			s.velAMG[c] = amg.NewRedundant(Ac, opts.AMG)
+			s.velPC[c] = amg.NewRedundant(Ac, opts.AMG)
 		}
 	}
 
@@ -324,12 +358,12 @@ func Assemble(m *mesh.Mesh, dom fem.Domain, etaElem []float64, force [][8][3]flo
 func (s *System) Precond() krylov.Operator {
 	return krylov.OpFunc(func(x, y *la.Vec) {
 		n := s.nOwned
-		// Velocity components: AMG V-cycle each.
+		// Velocity components: one multigrid V-cycle each (AMG or GMG).
 		for c := 0; c < 3; c++ {
 			for i := 0; i < n; i++ {
 				s.xc.Data[i] = x.Data[4*i+c]
 			}
-			s.velAMG[c].Apply(s.xc, s.yc)
+			s.velPC[c].Apply(s.xc, s.yc)
 			for i := 0; i < n; i++ {
 				y.Data[4*i+c] = s.yc.Data[i]
 			}
