@@ -94,6 +94,16 @@ func BenchmarkMatFreeThroughput(b *testing.B) {
 	}
 }
 
+func BenchmarkTimeLoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, cases := experiments.FigTimeLoop(experiments.Small)
+		printOnce(b, i, func(w io.Writer) { t.Print(w) })
+		if i == 0 && len(cases) == 2 && cases[1].BuildPerSolve() > 0 {
+			b.ReportMetric(cases[0].BuildPerSolve()/cases[1].BuildPerSolve(), "build-speedup")
+		}
+	}
+}
+
 func BenchmarkSec7_MatrixVsTensor(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t := experiments.Sec7MatrixVsTensor(experiments.Small)

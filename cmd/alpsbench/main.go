@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 2,5,6,7,8,9,10,sec6,12,sec7,matfree,gmg or all")
+	fig := flag.String("fig", "all", "which experiment: 2,5,6,7,8,9,10,sec6,12,sec7,matfree,gmg,timeloop or all")
 	scaleFlag := flag.String("scale", "small", "small or full")
 	flag.Parse()
 
@@ -58,6 +58,10 @@ func main() {
 	run("matfree", func() { experiments.FigMatFreeThroughput(scale).Print(w) })
 	run("gmg", func() {
 		t, _ := experiments.FigGMGIterations(scale)
+		t.Print(w)
+	})
+	run("timeloop", func() {
+		t, _ := experiments.FigTimeLoop(scale)
 		t.Print(w)
 	})
 	fmt.Fprintln(w)

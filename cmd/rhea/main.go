@@ -27,6 +27,8 @@ func main() {
 	sigmaY := flag.Float64("yield", 1e3, "yield stress (0 = no yielding)")
 	matfree := flag.Bool("matfree", false, "apply the Stokes operator matrix-free instead of assembling the coupled CSR")
 	precond := flag.String("precond", "amg", "velocity-block preconditioner: amg (assembled) or gmg (matrix-free geometric multigrid)")
+	localamg := flag.Bool("localamg", false, "per-rank block-Jacobi AMG hierarchies instead of the redundant global hierarchy (cheaper setup, more iterations)")
+	noreuse := flag.Bool("noreuse", false, "rebuild the full Stokes solver setup every Picard iteration instead of caching the mesh-dependent half")
 	flag.Parse()
 
 	var pk stokes.PrecondKind
@@ -60,6 +62,8 @@ func main() {
 		MinresMax:   800,
 		MatrixFree:  *matfree,
 		Precond:     pk,
+		LocalAMG:    *localamg,
+		NoReuse:     *noreuse,
 	}
 
 	fmt.Printf("RHEA: %d ranks, Ra=%.1e, yield=%.1e, levels %d..%d, target %d elements\n",
@@ -95,8 +99,9 @@ func main() {
 		if r.ID() == 0 {
 			t := s.Times
 			fmt.Printf("\ntimings (rank 0, s): AMR total %.3f | transport %.3f | "+
-				"stokes assemble+AMG setup %.3f | MINRES %.3f\n",
-				t.AMRTotal(), t.TimeIntegrate, t.StokesAssemble, t.MINRES)
+				"stokes setup %.3f (%dx) + update %.3f | MINRES %.3f\n",
+				t.AMRTotal(), t.TimeIntegrate, t.StokesSetup, t.StokesSetups,
+				t.StokesUpdate, t.MINRES)
 			fmt.Printf("AMR breakdown: coarsen/refine %.3f balance %.3f partition %.3f "+
 				"extract %.3f interpolate %.3f transfer %.3f mark %.3f\n",
 				t.CoarsenRefine, t.BalanceTree, t.PartitionTree,

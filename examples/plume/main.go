@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math"
 	"strings"
@@ -18,6 +19,8 @@ import (
 )
 
 func main() {
+	cycles := flag.Int("cycles", 3, "adaptation cycles to run")
+	flag.Parse()
 	cfg := rhea.Config{
 		Dom: fem.Domain{Box: [3]float64{2, 1, 1}},
 		Ra:  3e5,
@@ -39,7 +42,7 @@ func main() {
 
 	sim.Run(4, func(r *sim.Rank) {
 		s := rhea.New(r, cfg)
-		for cycle := 0; cycle <= 3; cycle++ {
+		for cycle := 0; cycle <= *cycles; cycle++ {
 			if cycle > 0 {
 				s.SolveStokes()
 				s.AdvectSteps(cfg.AdaptEvery)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math"
 	"strings"
@@ -18,11 +19,13 @@ import (
 )
 
 func main() {
+	cyclesFlag := flag.Int("cycles", 5, "advect+adapt cycles to run")
+	flag.Parse()
 	const (
-		ranks  = 4
-		order  = 3
-		cycles = 5
+		ranks = 4
+		order = 3
 	)
+	cycles := *cyclesFlag
 	conn := forest.CubedSphere(2) // 24 trees, as in the paper
 	R := float64(morton.RootLen)
 	vel := func(f *forest.Forest, o forest.Octant) [3]float64 {

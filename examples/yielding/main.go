@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math"
 
@@ -17,6 +18,8 @@ import (
 )
 
 func main() {
+	cycles := flag.Int("cycles", 3, "adaptation cycles to run")
+	flag.Parse()
 	cfg := rhea.Config{
 		Dom: fem.Domain{Box: [3]float64{8, 4, 1}},
 		Ra:  1e6,
@@ -43,7 +46,7 @@ func main() {
 
 	sim.Run(4, func(r *sim.Rank) {
 		s := rhea.New(r, cfg)
-		for c := 1; c <= 3; c++ {
+		for c := 1; c <= *cycles; c++ {
 			res := s.SolveStokes()
 			s.AdvectSteps(cfg.AdaptEvery)
 			st := s.Adapt()

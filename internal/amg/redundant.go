@@ -21,10 +21,20 @@ type Redundant struct {
 // NewRedundant gathers the distributed matrix and builds the replicated
 // hierarchy (collective).
 func NewRedundant(A *la.Mat, opts Options) *Redundant {
+	return NewRedundantFromGlobal(A.GatherGlobalCSR(), A.Layout, opts)
+}
+
+// NewRedundantFromGlobal builds the replicated hierarchy from an already
+// globally replicated serial CSR (every rank must pass identical
+// matrices). Callers that refresh matrix values repeatedly on a fixed
+// pattern — e.g. the multigrid coarse level per viscosity update —
+// replicate the values themselves (one vector all-reduce) instead of
+// gathering a freshly assembled distributed matrix every time.
+func NewRedundantFromGlobal(csr *la.CSR, layout *la.Layout, opts Options) *Redundant {
 	return &Redundant{
-		H:      Setup(A.GatherGlobalCSR(), opts),
-		layout: A.Layout,
-		out:    make([]float64, A.Layout.N()),
+		H:      Setup(csr, opts),
+		layout: layout,
+		out:    make([]float64, layout.N()),
 	}
 }
 

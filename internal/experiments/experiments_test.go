@@ -304,3 +304,39 @@ func TestSec7KernelsAndScaling(t *testing.T) {
 	sc := Sec7DGWeakScaling(Small)
 	rows(t, sc)
 }
+
+// TestTimeLoopReuse checks the persistent-solver time-loop experiment:
+// reuse must not change the physics (identical final diagnostics), must
+// collapse the mesh-dependent setup count to one per mesh (initial +
+// adaptations), and must not run slower end to end than the full
+// rebuild by more than scheduling noise.
+func TestTimeLoopReuse(t *testing.T) {
+	skipIfShort(t)
+	tb, cases := FigTimeLoop(Small)
+	rows(t, tb)
+	if len(cases) != 2 {
+		t.Fatalf("want rebuild+reuse cases, got %d", len(cases))
+	}
+	rebuild, reuse := cases[0], cases[1]
+	if rebuild.Nu != reuse.Nu || rebuild.Vrms != reuse.Vrms {
+		t.Errorf("solver reuse changed the physics: Nu %v vs %v, Vrms %v vs %v",
+			rebuild.Nu, reuse.Nu, rebuild.Vrms, reuse.Vrms)
+	}
+	if rebuild.Setups != rebuild.Solves {
+		t.Errorf("rebuild mode should set up per solve: %d setups for %d solves",
+			rebuild.Setups, rebuild.Solves)
+	}
+	// One setup for the initial mesh plus one per adaptation that was
+	// followed by a solve.
+	if reuse.Setups >= rebuild.Setups/2 {
+		t.Errorf("reuse barely amortizes setup: %d setups vs rebuild %d",
+			reuse.Setups, rebuild.Setups)
+	}
+	if reuse.BuildPerSolve() >= rebuild.BuildPerSolve() {
+		t.Errorf("reuse per-solve build cost %v not below rebuild %v",
+			reuse.BuildPerSolve(), rebuild.BuildPerSolve())
+	}
+	t.Logf("per-solve build: rebuild %.4fs, reuse %.4fs (%.1fx)",
+		rebuild.BuildPerSolve(), reuse.BuildPerSolve(),
+		rebuild.BuildPerSolve()/reuse.BuildPerSolve())
+}

@@ -31,7 +31,7 @@ func Fig8MantleWeakScaling(scale Scale) *Table {
 	}
 	t := &Table{
 		Title: "Fig 8: full mantle convection weak scaling, runtime per cycle (s)",
-		Header: []string{"#cores", "#elem", "AMR", "TimeIntegration", "StokesAssemble+AMGSetup",
+		Header: []string{"#cores", "#elem", "AMR", "TimeIntegration", "StokesSetup+Update",
 			"MINRES+AMGSolve", "Stokes share"},
 		Notes: []string{
 			"paper: Stokes solve >95% of runtime; AMR negligible; AMG grows with cores",
@@ -50,12 +50,12 @@ func Fig8MantleWeakScaling(scale Scale) *Table {
 			n := s.Tree.NumGlobal() // collective
 			if r.ID() == 0 {
 				tt := s.Times
-				stokes := tt.StokesAssemble + tt.MINRES
+				stokes := tt.StokesBuild() + tt.MINRES
 				total := tt.AMRTotal() + tt.SolveTotal()
 				row = []string{iN(p), i64(n), f3(tt.AMRTotal()),
-					f3(tt.TimeIntegrate), f3(tt.StokesAssemble), f3(tt.MINRES),
+					f3(tt.TimeIntegrate), f3(tt.StokesBuild()), f3(tt.MINRES),
 					pct(stokes / total)}
-				lastAssemble, lastMinres = tt.StokesAssemble, tt.MINRES
+				lastAssemble, lastMinres = tt.StokesBuild(), tt.MINRES
 				lastElems = n
 			}
 		})

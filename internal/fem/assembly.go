@@ -93,7 +93,19 @@ func AssembleScalar(
 	elemSrc func(ei int, h [3]float64) [8]float64,
 	bc ScalarBC,
 ) (*la.Mat, *la.Vec, *BCData) {
-	bcd := gatherBC(m, dom, bc)
+	return AssembleScalarWithBC(m, dom, elemMat, elemSrc, gatherBC(m, dom, bc))
+}
+
+// AssembleScalarWithBC is AssembleScalar with the Dirichlet data already
+// gathered (collective). Callers that re-assemble repeatedly on one mesh
+// — e.g. the multigrid coarse level on every viscosity refresh — cache
+// the BCData and skip the per-assembly gather.
+func AssembleScalarWithBC(
+	m *mesh.Mesh, dom Domain,
+	elemMat func(ei int, h [3]float64) [8][8]float64,
+	elemSrc func(ei int, h [3]float64) [8]float64,
+	bcd *BCData,
+) (*la.Mat, *la.Vec, *BCData) {
 	l := m.Layout()
 	A := la.NewMat(l)
 	bb := la.NewVecBuilder(l)
@@ -149,6 +161,26 @@ func AssembleScalar(
 		}
 	}
 	return A, b, bcd
+}
+
+// UnitStiffnessKernels returns the unit-viscosity scalar stiffness brick
+// of every local element, aliased per octree level (element size depends
+// only on the level, so one [8][8] brick serves every element of that
+// size). Viscosity-refresh paths scale these cached kernels instead of
+// re-running quadrature per element.
+func UnitStiffnessKernels(m *mesh.Mesh, dom Domain) []*[8][8]float64 {
+	byLevel := map[uint8]*[8][8]float64{}
+	kern := make([]*[8][8]float64, len(m.Leaves))
+	for ei, leaf := range m.Leaves {
+		k, ok := byLevel[leaf.Level]
+		if !ok {
+			K := StiffnessBrick(dom.ElemSize(leaf), 1)
+			k = &K
+			byLevel[leaf.Level] = k
+		}
+		kern[ei] = k
+	}
+	return kern
 }
 
 // ApplyConstrained evaluates a nodal field at every corner of every local

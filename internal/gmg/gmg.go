@@ -6,15 +6,25 @@
 // its own extracted mesh, and grid transfer is the trilinear stencil pair
 // fem.Transfer (prolongation interpolates the constrained coarse space,
 // restriction is its exact transpose). Smoothing is Chebyshev-accelerated
-// Jacobi driven by a matrix-free operator diagonal
-// (fem.AssembleScalarDiag); the level operators apply the variable-
-// viscosity stiffness per element from cached unit kernels, sharing
-// matfree's compact slot numbering and ghost-exchange machinery. Only the
-// coarsest level assembles a CSR, solved by one redundant AMG hierarchy
-// (package amg) — so with a matrix-free Stokes apply the whole solve
-// never assembles a fine-level matrix, and setup cost is dominated by the
-// (geometrically decaying) coarse mesh extractions instead of fine
-// assembly.
+// Jacobi; the level operators apply the variable-viscosity stiffness per
+// element from cached unit kernels, sharing matfree's compact slot
+// numbering and ghost-exchange machinery. Only the coarsest level
+// assembles a CSR, solved by one redundant AMG hierarchy (package amg) —
+// so with a matrix-free Stokes apply the whole solve never assembles a
+// fine-level matrix.
+//
+// Setup is split so a convection time loop can amortize it. NewHierarchy
+// builds everything that depends only on the mesh: level trees and
+// meshes, slot maps, transfer stencils, unit kernels, restriction maps,
+// and slot-space assembly plans whose coefficients make the smoother
+// diagonals and the coarse CSR linear functions of the element
+// viscosities. Rebuild refreshes everything that depends on the
+// viscosity — restricted per-level etas, smoother diagonals (one flat
+// plan scan each), Chebyshev lambda_max estimates (a short Lanczos run,
+// shared across the three velocity components), and the coarse AMG
+// values (one vector all-reduce) — at a small fraction of the hierarchy
+// construction cost, and leaves the result indistinguishable from a
+// freshly built hierarchy for the same viscosity.
 package gmg
 
 import (
@@ -44,9 +54,15 @@ type Options struct {
 	// ChebRatio sets the targeted interval [1.1*lmax/ratio, 1.1*lmax]
 	// (default 4).
 	ChebRatio float64
-	// PowerIters is the power-iteration count for the per-level lambda_max
-	// estimate (default 10).
-	PowerIters int
+	// LanczosSteps is the Lanczos step count for the per-level lambda_max
+	// estimate of the Jacobi-preconditioned spectrum (default 6 —
+	// Lanczos reaches the extreme eigenvalue of these spectra within a
+	// few percent by then, validated against 4-decade random viscosity
+	// fields). The estimate runs once per viscosity rebuild, on one
+	// velocity component only — the three components' spectra differ
+	// just by boundary identity rows, well inside the Chebyshev
+	// interval's 1.1 safety factor.
+	LanczosSteps int
 	// AMG tunes the coarsest-level assembled solve.
 	AMG amg.Options
 }
@@ -70,60 +86,69 @@ func (o Options) withDefaults() Options {
 	if o.ChebRatio == 0 {
 		o.ChebRatio = 4
 	}
-	if o.PowerIters == 0 {
-		o.PowerIters = 10
+	if o.LanczosSteps == 0 {
+		o.LanczosSteps = 6
 	}
 	return o
 }
 
 // level is one mesh level of the hierarchy with its viscosity and cached
 // unit element kernels (viscosity scales linearly, so one [8][8] brick
-// per octree level serves every element of that size).
+// per octree level serves every element of that size). eta is the only
+// viscosity-dependent field; everything else survives a Rebuild.
 type level struct {
-	mesh *mesh.Mesh
-	eta  []float64
-	sm   *matfree.SlotMap
-	kern []*[8][8]float64 // per element, aliased per octree level
+	mesh  *mesh.Mesh
+	eta   []float64
+	sm    *matfree.SlotMap
+	kern  []*[8][8]float64 // per element, aliased per octree level
+	dplan []diagTerm       // slot-space diagonal assembly plan (BC-independent)
 }
 
-func newLevel(m *mesh.Mesh, dom fem.Domain, eta []float64) *level {
-	lv := &level{mesh: m, eta: eta, sm: matfree.NewSlotMap(m, 1)}
-	byLevel := map[uint8]*[8][8]float64{}
-	lv.kern = make([]*[8][8]float64, len(m.Leaves))
-	for ei, leaf := range m.Leaves {
-		k, ok := byLevel[leaf.Level]
-		if !ok {
-			K := fem.StiffnessBrick(dom.ElemSize(leaf), 1)
-			k = &K
-			byLevel[leaf.Level] = k
-		}
-		lv.kern[ei] = k
-	}
+func newLevel(m *mesh.Mesh, dom fem.Domain) *level {
+	lv := &level{mesh: m, sm: matfree.NewSlotMap(m, 1), kern: fem.UnitStiffnessKernels(m, dom)}
+	lv.dplan = buildDiagPlan(lv)
 	return lv
 }
 
 // Hierarchy is the geometric level stack shared by the per-component
 // preconditioners: meshes, viscosities and transfer stencils are
 // boundary-condition independent, so they are built once and reused for
-// all three velocity components.
+// all three velocity components. The mesh-dependent half (level meshes,
+// slot maps, transfer stencils, unit kernels) is built by NewHierarchy
+// and never touched again; the viscosity-dependent half (per-level etas,
+// smoother diagonals, Chebyshev eigenvalue bounds, coarse AMG) is
+// (re)derived by Rebuild, so a time loop keeps one Hierarchy per mesh and
+// refreshes it per Picard iteration.
 type Hierarchy struct {
 	dom    fem.Domain
 	opts   Options
 	levels []*level        // levels[0] is the finest (input) mesh
 	trans  []*fem.Transfer // trans[l] couples levels l (fine) and l+1 (coarse)
 	elems  []int64         // global element count per level
+	restr  [][]int32       // restr[l]: fine element of level l -> coarse element of level l+1
+	comps  []*Component    // components registered by Precond, refreshed by Rebuild
+	hasEta bool            // Rebuild has run at least once
+
+	// lmaxEta and diagEta cache the per-level lambda_max estimates and
+	// raw operator diagonals of the current viscosity, computed by the
+	// first component refreshed after a Rebuild and shared by the other
+	// two (the diagonal is boundary-condition independent; each
+	// component only overwrites its own Dirichlet rows with 1).
+	lmaxEta   []float64
+	diagEta   []*la.Vec
+	lmaxValid bool
 }
 
-// New derives the coarse level stack from the extracted fine mesh
-// (collective): repeated octree CoarsenedCopy + mesh extraction until the
-// global element count falls to Options.CoarseElems, the level cap is
-// hit, or coarsening stops making progress under the partition. etaElem
-// is the fine per-element viscosity; coarse viscosities are volume-
-// weighted averages over the children.
-func New(m *mesh.Mesh, dom fem.Domain, etaElem []float64, opts Options) *Hierarchy {
+// NewHierarchy derives the mesh-dependent coarse level stack from the
+// extracted fine mesh (collective): repeated octree CoarsenedCopy + mesh
+// extraction until the global element count falls to Options.CoarseElems,
+// the level cap is hit, or coarsening stops making progress under the
+// partition. No viscosity is attached yet — call Rebuild (or use New)
+// before applying any preconditioner built from it.
+func NewHierarchy(m *mesh.Mesh, dom fem.Domain, opts Options) *Hierarchy {
 	o := opts.withDefaults()
 	h := &Hierarchy{dom: dom, opts: o}
-	h.levels = append(h.levels, newLevel(m, dom, etaElem))
+	h.levels = append(h.levels, newLevel(m, dom))
 	tree := octree.FromLeaves(m.Rank, m.Leaves)
 	h.elems = append(h.elems, tree.NumGlobal())
 
@@ -138,38 +163,78 @@ func New(m *mesh.Mesh, dom fem.Domain, etaElem []float64, opts Options) *Hierarc
 		}
 		fine := h.levels[len(h.levels)-1]
 		cm := mesh.Extract(ctree)
-		ceta := restrictEta(fine.mesh, cm, fine.eta)
 		h.trans = append(h.trans, fem.NewTransfer(fine.mesh, cm))
-		h.levels = append(h.levels, newLevel(cm, dom, ceta))
+		// Fine-to-coarse element containment map, used by every Rebuild
+		// to restrict the viscosity without re-searching the Morton order.
+		ci := make([]int32, len(fine.mesh.Leaves))
+		for ei, leaf := range fine.mesh.Leaves {
+			ci[ei] = int32(findLeaf(cm, leaf))
+		}
+		h.restr = append(h.restr, ci)
+		h.levels = append(h.levels, newLevel(cm, dom))
 		h.elems = append(h.elems, ce)
 		tree = ctree
 	}
 	return h
 }
 
-// restrictEta volume-averages the fine per-element viscosity onto the
-// coarse elements (local: coverage alignment makes every fine leaf's
-// coarse container local).
-func restrictEta(fine, coarse *mesh.Mesh, eta []float64) []float64 {
+// New builds the hierarchy and attaches the fine per-element viscosity in
+// one call (collective) — NewHierarchy followed by Rebuild.
+func New(m *mesh.Mesh, dom fem.Domain, etaElem []float64, opts Options) *Hierarchy {
+	h := NewHierarchy(m, dom, opts)
+	h.Rebuild(etaElem)
+	return h
+}
+
+// Rebuild re-derives every viscosity-dependent quantity from a new fine
+// per-element viscosity while keeping the level meshes, slot maps and
+// transfer stencils (collective): coarse viscosities are volume-weighted
+// restrictions of etaElem, and every Component handed out by Precond
+// refreshes its smoother diagonals, Chebyshev eigenvalue estimates and
+// coarsest-level AMG values. After Rebuild the hierarchy preconditions
+// exactly as a freshly built one for the same viscosity.
+func (h *Hierarchy) Rebuild(etaElem []float64) {
+	h.levels[0].eta = etaElem
+	for l := 1; l < len(h.levels); l++ {
+		h.levels[l].eta = restrictEtaMapped(h.levels[l-1].mesh, h.levels[l].mesh,
+			h.restr[l-1], h.levels[l-1].eta)
+	}
+	h.hasEta = true
+	h.lmaxValid = false
+	for _, c := range h.comps {
+		c.refresh()
+	}
+}
+
+// restrictEtaMapped volume-averages the fine per-element viscosity onto
+// the coarse elements using the precomputed containment map (local:
+// coverage alignment makes every fine leaf's coarse container local).
+func restrictEtaMapped(fine, coarse *mesh.Mesh, ci []int32, eta []float64) []float64 {
 	sumW := make([]float64, len(coarse.Leaves))
 	sumE := make([]float64, len(coarse.Leaves))
 	for ei, leaf := range fine.Leaves {
-		ci := findLeaf(coarse, leaf)
+		c := ci[ei]
 		w := float64(leaf.Len())
 		w = w * w * w
-		sumW[ci] += w
-		sumE[ci] += w * eta[ei]
+		sumW[c] += w
+		sumE[c] += w * eta[ei]
 	}
 	out := make([]float64, len(coarse.Leaves))
-	for ci := range out {
-		if sumW[ci] > 0 {
-			out[ci] = sumE[ci] / sumW[ci]
+	for c := range out {
+		if sumW[c] > 0 {
+			out[c] = sumE[c] / sumW[c]
 		} else {
-			out[ci] = 1
+			out[c] = 1
 		}
 	}
 	return out
 }
+
+// FineSlots returns the finest level's block-1 node slot map (owned
+// nodes first, then ghosts, one reusable exchange plan). Callers that
+// need corner sampling on the fine mesh can share it instead of
+// building a duplicate.
+func (h *Hierarchy) FineSlots() *matfree.SlotMap { return h.levels[0].sm }
 
 // NumLevels returns the hierarchy depth (1 = no coarsening happened).
 func (h *Hierarchy) NumLevels() int { return len(h.levels) }
@@ -183,10 +248,21 @@ func (h *Hierarchy) CoarseNodes() int64 { return h.levels[len(h.levels)-1].mesh.
 
 // Precond builds the matrix-free V-cycle preconditioner for one scalar
 // velocity component with the given Dirichlet set (collective: it
-// gathers BC masks, computes matrix-free diagonals and lambda_max
-// estimates per level, and assembles + gathers the coarsest CSR). The
-// result implements krylov.Operator and is SPD: symmetric Chebyshev
-// smoothing, transpose transfer pair, symmetric coarse solve.
+// gathers BC masks per level and allocates the level operators and work
+// vectors). The result implements krylov.Operator and is SPD: symmetric
+// Chebyshev smoothing, transpose transfer pair, symmetric coarse solve.
+//
+// Only the mesh/BC-dependent structure is built here. If a viscosity is
+// already attached (New or a prior Rebuild) the component's numeric
+// state — smoother diagonals, lambda_max, coarse AMG — is derived
+// immediately; otherwise it is deferred to the first Rebuild, which is
+// the Setup/Update order the persistent Stokes solver uses.
+//
+// Every component is registered with the hierarchy and refreshed by
+// every subsequent Rebuild, so call Precond once per distinct Dirichlet
+// set per hierarchy lifetime (the Stokes solver calls it exactly three
+// times per Setup) — repeated calls for the same component would
+// accumulate live registrations that each Rebuild keeps paying for.
 func (h *Hierarchy) Precond(bc fem.ScalarBC) krylov.Operator {
 	c := &Component{h: h}
 	last := len(h.levels) - 1
@@ -194,40 +270,88 @@ func (h *Hierarchy) Precond(bc fem.ScalarBC) krylov.Operator {
 		layout := lv.mesh.Layout()
 		c.b = append(c.b, la.NewVec(layout))
 		c.x = append(c.x, la.NewVec(layout))
-		if l == last {
-			// Coarsest level: assembled CSR, redundant AMG solve.
-			eta := lv.eta
-			Ac, _, _ := fem.AssembleScalar(lv.mesh, h.dom,
-				func(ei int, hh [3]float64) [8][8]float64 {
-					return fem.StiffnessBrick(hh, eta[ei])
-				}, nil, bc)
-			c.coarse = amg.NewRedundant(Ac, h.opts.AMG)
-			bcd := fem.GatherBC(lv.mesh, h.dom, bc)
-			c.ops = append(c.ops, newLevelOp(lv, bcd))
-			break
-		}
 		bcd := fem.GatherBC(lv.mesh, h.dom, bc)
 		op := newLevelOp(lv, bcd)
 		c.ops = append(c.ops, op)
-		eta := lv.eta
-		diag := fem.AssembleScalarDiag(lv.mesh, h.dom,
-			func(ei int, hh [3]float64) [8][8]float64 {
-				return fem.StiffnessBrick(hh, eta[ei])
-			}, bcd)
-		dinv := la.NewVec(layout)
-		for i, v := range diag.Data {
+		if l == last {
+			c.cplan = buildCoarsePlan(lv, h.dom, bcd)
+			break
+		}
+		c.dinv = append(c.dinv, la.NewVec(layout))
+		c.lmax = append(c.lmax, 0) // set by refresh from the hierarchy cache
+		c.r = append(c.r, la.NewVec(layout))
+		c.d = append(c.d, la.NewVec(layout))
+		c.z = append(c.z, la.NewVec(layout))
+		c.w = append(c.w, la.NewVec(layout))
+	}
+	h.comps = append(h.comps, c)
+	if h.hasEta {
+		c.refresh()
+	}
+	return c
+}
+
+// sharedDiag computes the raw operator diagonal of smoothed level l for
+// the level's current viscosity (collective: one ghost scatter-add): a
+// flat scan of the precomputed slot-space plan, agreeing with
+// fem.AssembleScalarDiag to rounding at unconstrained nodes. The result
+// is boundary-condition independent and cached per Rebuild, so the three
+// velocity components share one scan per level.
+func (h *Hierarchy) sharedDiag(l int) *la.Vec {
+	if h.lmaxValid {
+		return h.diagEta[l]
+	}
+	lv := h.levels[l]
+	sm := lv.sm
+	n := sm.NOwned
+	acc := make([]float64, sm.NSlots())
+	for _, t := range lv.dplan {
+		acc[t.Slot] += lv.eta[t.Elem] * t.Coef
+	}
+	d := la.NewVec(lv.mesh.Layout())
+	copy(d.Data, acc[:n])
+	sm.GX.ScatterAdd(acc[n:], d.Data)
+	h.diagEta[l] = d
+	return d
+}
+
+// refresh re-derives the component's viscosity-dependent state from the
+// current level etas (collective): matrix-free smoother diagonals per
+// smoothed level (inverting the shared diagonal scan, with this
+// component's Dirichlet rows set to 1), the Chebyshev lambda_max
+// estimates (a short Lanczos run per level, done by the first component
+// after each Rebuild and shared via the hierarchy cache), and the
+// assembled + AMG-setup coarsest operator from the cached unit kernels.
+func (c *Component) refresh() {
+	h := c.h
+	last := len(h.levels) - 1
+	if len(h.lmaxEta) < last {
+		h.lmaxEta = make([]float64, last)
+		h.diagEta = make([]*la.Vec, last)
+	}
+	for l, lv := range h.levels {
+		if l == last {
+			// Coarsest level: replicated CSR values from the cached
+			// pattern plan, redundant AMG solve.
+			c.coarse = amg.NewRedundantFromGlobal(c.cplan.values(lv), lv.mesh.Layout(), h.opts.AMG)
+			break
+		}
+		d := h.sharedDiag(l)
+		dinv := c.dinv[l]
+		for i, v := range d.Data {
 			if v != 0 {
 				dinv.Data[i] = 1 / v
 			} else {
 				dinv.Data[i] = 1
 			}
 		}
-		c.dinv = append(c.dinv, dinv)
-		c.lmax = append(c.lmax, krylov.EstimateLambdaMax(op, dinv, h.opts.PowerIters))
-		c.r = append(c.r, la.NewVec(layout))
-		c.d = append(c.d, la.NewVec(layout))
-		c.z = append(c.z, la.NewVec(layout))
-		c.w = append(c.w, la.NewVec(layout))
+		for _, s := range c.ops[l].ownFixed {
+			dinv.Data[s] = 1 // Dirichlet identity rows
+		}
+		if !h.lmaxValid {
+			h.lmaxEta[l] = krylov.EstimateLambdaMaxLanczos(c.ops[l], dinv, h.opts.LanczosSteps)
+		}
+		c.lmax[l] = h.lmaxEta[l]
 	}
-	return c
+	h.lmaxValid = true
 }

@@ -105,9 +105,181 @@ type Component struct {
 	dinv   []*la.Vec
 	lmax   []float64
 	coarse krylov.Operator
+	cplan  *coarsePlan // coarsest-level pattern + value plan
 
 	// per-level work vectors (r,d,z,w only on smoothed levels)
 	b, x, r, d, z, w []*la.Vec
+}
+
+// diagTerm is one precomputed contribution eta[Elem]*Coef to the
+// operator diagonal at Slot.
+type diagTerm struct {
+	Slot, Elem int32
+	Coef       float64
+}
+
+// coarsePlan caches the mesh/BC-dependent structure of the coarsest
+// level's globally replicated CSR: the sparsity pattern (a superset
+// assembled from |K| so viscosity-dependent cancellation can never drop
+// an entry), the viscosity-independent values (Dirichlet identity rows),
+// and this rank's per-entry contributions as linear functions of the
+// element viscosities. A refresh then costs one flat scan plus one
+// vector all-reduce instead of a full distributed assembly and gather.
+type coarsePlan struct {
+	rowPtr []int32
+	colIdx []int32
+	base   []float64 // eta-independent values (identity rows)
+	terms  []matTerm // this rank's contributions
+}
+
+// matTerm is one precomputed contribution eta[Elem]*Coef to global CSR
+// entry Entry.
+type matTerm struct {
+	Entry, Elem int32
+	Coef        float64
+}
+
+// buildCoarsePlan assembles the coarsest level's global pattern and
+// contribution plan (collective).
+func buildCoarsePlan(lv *level, dom fem.Domain, bcd *fem.BCData) *coarsePlan {
+	m := lv.mesh
+	// Pattern from absolute-value kernels: a superset of the true
+	// sparsity for every positive viscosity field.
+	absMat := func(ei int, _ [3]float64) [8][8]float64 {
+		K := *lv.kern[ei]
+		for a := 0; a < 8; a++ {
+			for b := 0; b < 8; b++ {
+				if K[a][b] < 0 {
+					K[a][b] = -K[a][b]
+				}
+			}
+		}
+		return K
+	}
+	Ap, _, _ := fem.AssembleScalarWithBC(m, dom, absMat, nil, bcd)
+	g := Ap.GatherGlobalCSR()
+	p := &coarsePlan{rowPtr: g.RowPtr, colIdx: g.ColIdx, base: make([]float64, g.NNZ())}
+
+	// Identity rows: gather the global Dirichlet flags and set their
+	// diagonal entries.
+	flag := la.NewVec(m.Layout())
+	for i := 0; i < m.NumOwned; i++ {
+		if bcd.IsSet(m.Offset + int64(i)) {
+			flag.Data[i] = 1
+		}
+	}
+	full := la.GatherGlobal(flag)
+	for row, f := range full {
+		if f != 0 {
+			p.base[p.findEntry(int64(row), int64(row))] = 1
+		}
+	}
+
+	// Local element contributions to unconstrained entries.
+	for ei := range m.Corners {
+		cs := &m.Corners[ei]
+		K := lv.kern[ei]
+		for a := 0; a < 8; a++ {
+			for ia := 0; ia < int(cs[a].N); ia++ {
+				ga, wa := cs[a].GID[ia], cs[a].W[ia]
+				if bcd.IsSet(ga) {
+					continue // identity row
+				}
+				for b := 0; b < 8; b++ {
+					for ib := 0; ib < int(cs[b].N); ib++ {
+						gb, wb := cs[b].GID[ib], cs[b].W[ib]
+						if bcd.IsSet(gb) {
+							continue // eliminated column
+						}
+						coef := wa * wb * K[a][b]
+						if coef == 0 {
+							continue
+						}
+						p.terms = append(p.terms, matTerm{
+							Entry: int32(p.findEntry(ga, gb)), Elem: int32(ei), Coef: coef})
+					}
+				}
+			}
+		}
+	}
+	return p
+}
+
+// findEntry locates the CSR entry (row, col) in the global pattern
+// (columns are sorted within each row); it panics if absent, which would
+// mean the pattern superset property is broken.
+func (p *coarsePlan) findEntry(row, col int64) int {
+	lo, hi := int(p.rowPtr[row]), int(p.rowPtr[row+1])
+	i := lo + sort.Search(hi-lo, func(i int) bool { return int64(p.colIdx[lo+i]) >= col })
+	if i < hi && int64(p.colIdx[i]) == col {
+		return i
+	}
+	panic(fmt.Sprintf("gmg: coarse pattern is missing entry (%d,%d)", row, col))
+}
+
+// values computes the replicated global CSR values for the level's
+// current viscosity (collective: one vector all-reduce).
+func (p *coarsePlan) values(lv *level) *la.CSR {
+	contrib := make([]float64, len(p.base))
+	for _, t := range p.terms {
+		contrib[t.Entry] += lv.eta[t.Elem] * t.Coef
+	}
+	sum := lv.mesh.Rank.AllreduceVec(contrib)
+	vals := make([]float64, len(p.base))
+	for i := range vals {
+		vals[i] = p.base[i] + sum[i]
+	}
+	return &la.CSR{N: int(lv.mesh.NGlobal), RowPtr: p.rowPtr, ColIdx: p.colIdx, Vals: vals}
+}
+
+// buildDiagPlan collects, for every slot of the level, the coefficients
+// of its operator-diagonal entry as a linear function of the element
+// viscosities: Coef sums wa*wb*K_unit[a][b] over every corner pair of
+// Elem whose constraint masters both resolve to the slot's node —
+// exactly the terms fem.AssembleScalarDiag would accumulate. The plan is
+// boundary-condition independent; Dirichlet rows are overwritten with 1
+// by each component after the scan.
+func buildDiagPlan(lv *level) []diagTerm {
+	var plan []diagTerm
+	sm := lv.sm
+	for ei := range sm.Corners {
+		cs := &sm.Corners[ei]
+		K := lv.kern[ei]
+		var slots [32]int32
+		var coefs [32]float64
+		nloc := 0
+		for a := 0; a < 8; a++ {
+			ca := &cs[a]
+			for ia := 0; ia < int(ca.N); ia++ {
+				sa, wa := ca.Slot[ia], ca.W[ia]
+				var v float64
+				for b := 0; b < 8; b++ {
+					cb := &cs[b]
+					for ib := 0; ib < int(cb.N); ib++ {
+						if cb.Slot[ib] == sa {
+							v += wa * cb.W[ib] * K[a][b]
+						}
+					}
+				}
+				found := false
+				for k := 0; k < nloc; k++ {
+					if slots[k] == sa {
+						coefs[k] += v
+						found = true
+						break
+					}
+				}
+				if !found {
+					slots[nloc], coefs[nloc] = sa, v
+					nloc++
+				}
+			}
+		}
+		for k := 0; k < nloc; k++ {
+			plan = append(plan, diagTerm{Slot: slots[k], Elem: int32(ei), Coef: coefs[k]})
+		}
+	}
+	return plan
 }
 
 // Apply computes y = M^-1 x: one V-cycle on the homogeneous-Dirichlet

@@ -199,33 +199,122 @@ func DiagOp(inv *la.Vec) Operator {
 	return OpFunc(func(x, y *la.Vec) { y.PointwiseMult(inv, x) })
 }
 
-// EstimateLambdaMax estimates the largest eigenvalue of D^-1 A by power
-// iteration on the distributed operator, where dinv holds the inverse
-// diagonal (collective). It is the setup step of Chebyshev smoothing:
-// the smoother targets the interval (lmax/ratio, 1.1*lmax]. The start
-// vector is a fixed deterministic mix so estimates are reproducible
-// across runs and rank counts.
-func EstimateLambdaMax(A Operator, dinv *la.Vec, iters int) float64 {
-	x := la.NewVec(dinv.Layout)
-	y := la.NewVec(dinv.Layout)
-	start := dinv.Layout.Start()
-	for i := range x.Data {
-		g := float64(start + int64(i))
-		x.Data[i] = 1 + math.Sin(0.7*g)
-	}
-	var lam float64
-	for it := 0; it < iters; it++ {
-		A.Apply(x, y)
-		y.PointwiseMult(dinv, y)
-		nrm := y.Norm2()
-		if nrm == 0 {
-			return 1
+// EstimateLambdaMaxLanczos estimates the largest eigenvalue of D^-1 A by
+// a fixed number of Lanczos steps on the symmetrized operator
+// D^-1/2 A D^-1/2 (same spectrum), where dinv holds the inverse diagonal
+// (collective). It is the setup step of Chebyshev smoothing: the
+// smoother targets the interval (lmax/ratio, 1.1*lmax]. Lanczos reaches
+// the extreme eigenvalue in far fewer operator applies than power
+// iteration — typically within a percent after 5-8 steps where power
+// iteration needs 30+ on clustered FE spectra — which is what makes a
+// per-viscosity-refresh estimate affordable. The start vector is a
+// fixed deterministic mix (1 + sin(0.7g) over global indices g) so
+// estimates are reproducible across runs and rank counts; no
+// reorthogonalization (the loss only ever re-introduces converged
+// directions, harmless for an extreme-eigenvalue estimate at these step
+// counts).
+func EstimateLambdaMaxLanczos(A Operator, dinv *la.Vec, steps int) float64 {
+	l := dinv.Layout
+	dhalf := la.NewVec(l) // D^-1/2
+	for i, v := range dinv.Data {
+		if v > 0 {
+			dhalf.Data[i] = math.Sqrt(v)
+		} else {
+			dhalf.Data[i] = 1
 		}
-		lam = nrm
-		x.Copy(y)
-		x.Scale(1 / nrm)
 	}
-	return lam
+	v := la.NewVec(l)
+	start := l.Start()
+	for i := range v.Data {
+		g := float64(start + int64(i))
+		v.Data[i] = 1 + math.Sin(0.7*g)
+	}
+	nrm := v.Norm2()
+	if nrm == 0 {
+		return 1
+	}
+	v.Scale(1 / nrm)
+	prev := la.NewVec(l) // v_{k-1}
+	w := la.NewVec(l)
+	t := la.NewVec(l)
+	var alphas, betas []float64
+	beta := 0.0
+	for k := 0; k < steps; k++ {
+		// w = D^-1/2 A D^-1/2 v
+		t.PointwiseMult(dhalf, v)
+		A.Apply(t, w)
+		w.PointwiseMult(dhalf, w)
+		alpha := w.Dot(v)
+		w.AXPY(-alpha, v)
+		if k > 0 {
+			w.AXPY(-beta, prev)
+		}
+		alphas = append(alphas, alpha)
+		beta = w.Norm2()
+		if beta == 0 {
+			break
+		}
+		betas = append(betas, beta)
+		prev.Copy(v)
+		v.Copy(w)
+		v.Scale(1 / beta)
+	}
+	return tridiagLambdaMax(alphas, betas)
+}
+
+// tridiagLambdaMax returns the largest eigenvalue of the symmetric
+// tridiagonal matrix with the given diagonal and off-diagonal entries,
+// by bisection on the Sturm sequence (deterministic, no allocation
+// beyond the inputs).
+func tridiagLambdaMax(alphas, betas []float64) float64 {
+	n := len(alphas)
+	if n == 0 {
+		return 1
+	}
+	// Gershgorin bracket.
+	lo, hi := alphas[0], alphas[0]
+	for i := 0; i < n; i++ {
+		r := 0.0
+		if i > 0 {
+			r += math.Abs(betas[i-1])
+		}
+		if i < n-1 && i < len(betas) {
+			r += math.Abs(betas[i])
+		}
+		lo = math.Min(lo, alphas[i]-r)
+		hi = math.Max(hi, alphas[i]+r)
+	}
+	// countBelow returns the number of eigenvalues < x.
+	countBelow := func(x float64) int {
+		cnt := 0
+		d := 1.0
+		for i := 0; i < n; i++ {
+			b2 := 0.0
+			if i > 0 {
+				b2 = betas[i-1] * betas[i-1]
+			}
+			dNew := alphas[i] - x
+			if d != 0 {
+				dNew -= b2 / d
+			} else {
+				dNew -= b2 / 1e-300
+			}
+			if dNew < 0 {
+				cnt++
+			}
+			d = dNew
+		}
+		return cnt
+	}
+	for it := 0; it < 80 && hi-lo > 1e-12*(1+math.Abs(hi)); it++ {
+		mid := 0.5 * (lo + hi)
+		if countBelow(mid) == n {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
 }
 
 // Counted wraps an operator and accumulates the number of applies and

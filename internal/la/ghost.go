@@ -84,6 +84,17 @@ func (g *GhostExchange) Ghosts() []int64 { return g.ghosts }
 // served from every owner's owned slice (length Local()*block)
 // (collective).
 func (g *GhostExchange) Gather(owned, ghost []float64) {
+	g.GatherMulti([][]float64{owned}, [][]float64{ghost})
+}
+
+// GatherMulti gathers several same-layout fields in one exchange round
+// (collective): owned[f] and ghost[f] are field f's owned and ghost
+// slices, shaped exactly as in Gather. One message carries all fields,
+// so the collective cost is that of a single Gather regardless of the
+// field count — the time loop uses this to fetch temperature and the
+// three velocity components together when re-evaluating the viscosity.
+func (g *GhostExchange) GatherMulti(owned, ghost [][]float64) {
+	nf := len(owned)
 	r := g.layout.rank
 	p := r.Size()
 	out := make([]any, p)
@@ -93,9 +104,12 @@ func (g *GhostExchange) Gather(owned, ghost []float64) {
 			out[j] = []float64(nil)
 			continue
 		}
-		buf := make([]float64, len(g.sendIdx[j])*g.block)
-		for k, li := range g.sendIdx[j] {
-			copy(buf[k*g.block:(k+1)*g.block], owned[int(li)*g.block:(int(li)+1)*g.block])
+		buf := make([]float64, len(g.sendIdx[j])*g.block*nf)
+		pos := 0
+		for _, li := range g.sendIdx[j] {
+			for f := 0; f < nf; f++ {
+				pos += copy(buf[pos:], owned[f][int(li)*g.block:(int(li)+1)*g.block])
+			}
 		}
 		out[j] = buf
 		nb[j] = 8 * len(buf)
@@ -106,8 +120,11 @@ func (g *GhostExchange) Gather(owned, ghost []float64) {
 			continue
 		}
 		buf, _ := d.([]float64)
-		for k, s := range g.reqSlot[i] {
-			copy(ghost[int(s)*g.block:(int(s)+1)*g.block], buf[k*g.block:(k+1)*g.block])
+		pos := 0
+		for _, s := range g.reqSlot[i] {
+			for f := 0; f < nf; f++ {
+				pos += copy(ghost[f][int(s)*g.block:(int(s)+1)*g.block], buf[pos:pos+g.block])
+			}
 		}
 	}
 }

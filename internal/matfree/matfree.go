@@ -64,7 +64,11 @@ type Operator struct {
 
 // New builds the operator for the extracted mesh, per-element viscosity
 // and Dirichlet data (collective: it sets up the ghost-exchange plan).
-// layout must be the 4N dof layout of the Stokes system.
+// layout must be the 4N dof layout of the Stokes system. Everything built
+// here — kernels, slot numbering, ghost plan, constraint tables, worker
+// chunks — depends only on the mesh and boundary conditions; etaElem may
+// be nil and supplied later via SetViscosity, which is how the persistent
+// solver reuses one Operator across viscosity updates.
 func New(m *mesh.Mesh, dom fem.Domain, layout *la.Layout, etaElem []float64, bc DofBC, opts Options) *Operator {
 	op := &Operator{m: m, layout: layout, eta: etaElem, nOwned: m.NumOwned}
 
@@ -133,6 +137,12 @@ func New(m *mesh.Mesh, dom fem.Domain, layout *la.Layout, etaElem []float64, bc 
 // Workers returns the in-rank worker count the element loop uses.
 func (op *Operator) Workers() int { return op.workers }
 
+// SetViscosity replaces the per-element viscosity the cached unit kernels
+// are scaled by (local, free). The mesh-dependent state — slot maps,
+// ghost plans, constraint tables — is untouched, so this is the entire
+// viscosity-dependent half of the operator's setup.
+func (op *Operator) SetViscosity(etaElem []float64) { op.eta = etaElem }
+
 // elementLoop runs ye = A_e xe over elements [lo,hi), accumulating into
 // dst through the constraint weights.
 func (op *Operator) elementLoop(lo, hi int, src, dst []float64) {
@@ -167,15 +177,15 @@ func (op *Operator) elementLoop(lo, hi int, src, dst []float64) {
 	}
 }
 
-// runParallel executes the element loop over all chunks and reduces the
-// per-worker accumulators into op.acc[0].
-func (op *Operator) runParallel(src []float64) []float64 {
+// runParallel executes loop over all chunks and reduces the per-worker
+// accumulators into op.acc[0].
+func (op *Operator) runParallel(src []float64, loop func(lo, hi int, src, dst []float64)) []float64 {
 	if op.workers == 1 {
 		acc := op.acc[0]
 		for i := range acc {
 			acc[i] = 0
 		}
-		op.elementLoop(0, len(op.corners), src, acc)
+		loop(0, len(op.corners), src, acc)
 		return acc
 	}
 	var wg sync.WaitGroup
@@ -187,7 +197,7 @@ func (op *Operator) runParallel(src []float64) []float64 {
 			for i := range acc {
 				acc[i] = 0
 			}
-			op.elementLoop(op.chunks[w][0], op.chunks[w][1], src, acc)
+			loop(op.chunks[w][0], op.chunks[w][1], src, acc)
 		}(w)
 	}
 	wg.Wait()
@@ -225,7 +235,7 @@ func (op *Operator) Apply(x, y *la.Vec) {
 	for _, idx := range op.fixedIdx {
 		op.xbuf[idx] = 0
 	}
-	acc := op.runParallel(op.xbuf)
+	acc := op.runParallel(op.xbuf, op.elementLoop)
 	copy(y.Data, acc[:op.nOwned*4])
 	op.gx.ScatterAdd(acc[op.nOwned*4:], y.Data)
 	// Identity rows for owned constrained dofs.
@@ -234,68 +244,93 @@ func (op *Operator) Apply(x, y *la.Vec) {
 	}
 }
 
+// rhsLoop runs the right-hand-side element loop over elements [lo,hi):
+// consistent body-force loads minus the raw operator applied to the
+// Dirichlet lift in src, accumulated into dst through the constraint
+// weights.
+func (op *Operator) rhsLoop(force [][8][3]float64, zeroLift bool) func(lo, hi int, src, dst []float64) {
+	return func(lo, hi int, src, dst []float64) {
+		var xe, ye [32]float64
+		for ei := lo; ei < hi; ei++ {
+			cs := &op.corners[ei]
+			if zeroLift {
+				// Homogeneous Dirichlet data: the lift action is exactly
+				// zero, skip the gather and kernel apply.
+				for i := range ye {
+					ye[i] = 0
+				}
+			} else {
+				for a := 0; a < 8; a++ {
+					cr := &cs[a]
+					var v0, v1, v2, v3 float64
+					for k := 0; k < int(cr.N); k++ {
+						base := int(cr.Slot[k]) * 4
+						w := cr.W[k]
+						v0 += w * src[base]
+						v1 += w * src[base+1]
+						v2 += w * src[base+2]
+						v3 += w * src[base+3]
+					}
+					xe[4*a], xe[4*a+1], xe[4*a+2], xe[4*a+3] = v0, v1, v2, v3
+				}
+				op.kern[ei].Apply(op.eta[ei], &xe, &ye)
+			}
+			// re = consistent load - lift action; pressure rows carry no load.
+			if force != nil {
+				M8 := &op.kern[ei].M8
+				for a := 0; a < 8; a++ {
+					var f0, f1, f2 float64
+					for b := 0; b < 8; b++ {
+						m := M8[a][b]
+						f0 += m * force[ei][b][0]
+						f1 += m * force[ei][b][1]
+						f2 += m * force[ei][b][2]
+					}
+					ye[4*a] = f0 - ye[4*a]
+					ye[4*a+1] = f1 - ye[4*a+1]
+					ye[4*a+2] = f2 - ye[4*a+2]
+					ye[4*a+3] = -ye[4*a+3]
+				}
+			} else {
+				for i := range ye {
+					ye[i] = -ye[i]
+				}
+			}
+			for a := 0; a < 8; a++ {
+				cr := &cs[a]
+				for k := 0; k < int(cr.N); k++ {
+					base := int(cr.Slot[k]) * 4
+					w := cr.W[k]
+					dst[base] += w * ye[4*a]
+					dst[base+1] += w * ye[4*a+1]
+					dst[base+2] += w * ye[4*a+2]
+					dst[base+3] += w * ye[4*a+3]
+				}
+			}
+		}
+	}
+}
+
 // RHS assembles the right-hand side matching the eliminated operator
 // without forming any matrix (collective): consistent body-force loads
 // minus the raw operator applied to the Dirichlet lift, with constrained
 // owned entries set to their boundary values. force gives the body-force
-// vector at each element corner (nil for none).
+// vector at each element corner (nil for none). The element loop runs on
+// the same worker pool (and with the same deterministic reduction) as
+// Apply.
 func (op *Operator) RHS(force [][8][3]float64) *la.Vec {
 	// Dirichlet lift in slot space: boundary values at constrained dofs.
-	lift := make([]float64, op.nSlots*4)
+	zeroLift := true
+	for i := range op.xbuf {
+		op.xbuf[i] = 0
+	}
 	for _, idx := range op.fixedIdx {
-		lift[idx] = op.bcval[idx]
-	}
-	acc := make([]float64, op.nSlots*4)
-	var xe, ye [32]float64
-	for ei := range op.corners {
-		cs := &op.corners[ei]
-		for a := 0; a < 8; a++ {
-			cr := &cs[a]
-			var v0, v1, v2, v3 float64
-			for k := 0; k < int(cr.N); k++ {
-				base := int(cr.Slot[k]) * 4
-				w := cr.W[k]
-				v0 += w * lift[base]
-				v1 += w * lift[base+1]
-				v2 += w * lift[base+2]
-				v3 += w * lift[base+3]
-			}
-			xe[4*a], xe[4*a+1], xe[4*a+2], xe[4*a+3] = v0, v1, v2, v3
-		}
-		op.kern[ei].Apply(op.eta[ei], &xe, &ye)
-		// re = consistent load - lift action; pressure rows carry no load.
-		if force != nil {
-			M8 := &op.kern[ei].M8
-			for a := 0; a < 8; a++ {
-				var f0, f1, f2 float64
-				for b := 0; b < 8; b++ {
-					m := M8[a][b]
-					f0 += m * force[ei][b][0]
-					f1 += m * force[ei][b][1]
-					f2 += m * force[ei][b][2]
-				}
-				ye[4*a] = f0 - ye[4*a]
-				ye[4*a+1] = f1 - ye[4*a+1]
-				ye[4*a+2] = f2 - ye[4*a+2]
-				ye[4*a+3] = -ye[4*a+3]
-			}
-		} else {
-			for i := range ye {
-				ye[i] = -ye[i]
-			}
-		}
-		for a := 0; a < 8; a++ {
-			cr := &cs[a]
-			for k := 0; k < int(cr.N); k++ {
-				base := int(cr.Slot[k]) * 4
-				w := cr.W[k]
-				acc[base] += w * ye[4*a]
-				acc[base+1] += w * ye[4*a+1]
-				acc[base+2] += w * ye[4*a+2]
-				acc[base+3] += w * ye[4*a+3]
-			}
+		op.xbuf[idx] = op.bcval[idx]
+		if op.bcval[idx] != 0 {
+			zeroLift = false
 		}
 	}
+	acc := op.runParallel(op.xbuf, op.rhsLoop(force, zeroLift))
 	b := la.NewVec(op.layout)
 	copy(b.Data, acc[:op.nOwned*4])
 	op.gx.ScatterAdd(acc[op.nOwned*4:], b.Data)

@@ -1,0 +1,205 @@
+package rhea
+
+// End-to-end physics regression tests: a fixed, deterministic
+// Rayleigh–Bénard convection scenario whose Nusselt number and RMS
+// velocity are pinned to logged reference values and must be identical
+// across simulated rank counts. These diagnostics are what guarantee the
+// persistent-solver reuse path (and any future solver change) does not
+// silently alter the simulation.
+
+import (
+	"math"
+	"testing"
+
+	"rhea/internal/fem"
+	"rhea/internal/sim"
+)
+
+// regressionConfig is the pinned Rayleigh–Bénard scenario: unit box,
+// Ra = 1e4, mild temperature-dependent viscosity, a single off-center
+// perturbation of the conductive profile. Every numerical knob is fixed
+// so runs are reproducible; MINRES is converged far below the pinning
+// tolerance so rank-count-dependent rounding cannot surface.
+func regressionConfig() Config {
+	return Config{
+		Dom: fem.UnitDomain,
+		Ra:  1e4,
+		InitialTemp: func(x [3]float64) float64 {
+			r2 := (x[0]-0.4)*(x[0]-0.4) + (x[1]-0.6)*(x[1]-0.6) + (x[2]-0.3)*(x[2]-0.3)
+			return (1 - x[2]) + 0.2*math.Exp(-r2/0.03)
+		},
+		Visc:        TemperatureDependent(1, 1),
+		BaseLevel:   2,
+		MinLevel:    1,
+		MaxLevel:    3,
+		TargetElems: 200,
+		AdaptEvery:  4,
+		Picard:      1,
+		MinresTol:   1e-9,
+		MinresMax:   3000,
+		InitAdapt:   1,
+	}
+}
+
+// runRegression advances the pinned scenario n cycles (Stokes solve + 4
+// transport steps + adaptation each) plus a final solve, and returns the
+// diagnostics.
+func runRegression(r *sim.Rank, cfg Config, cycles int) (nu, vrms float64) {
+	s := New(r, cfg)
+	for c := 0; c < cycles; c++ {
+		s.SolveStokes()
+		s.AdvectSteps(4)
+		s.Adapt()
+	}
+	s.SolveStokes()
+	return s.Nusselt(), s.RMSVelocity()
+}
+
+// Reference values logged from the pinned scenario (see t.Logf below to
+// regenerate). The tolerance absorbs summation-order differences across
+// rank counts and architectures; anything beyond it means the physics
+// changed.
+const (
+	refShortNu   = 32.11456417769
+	refShortVrms = 48.55259671046
+	refFullNu    = 56.86501273193
+	refFullVrms  = 94.09621201628
+	refTol       = 1e-6
+)
+
+// TestConvectionRegressionShort pins the 2-cycle scenario and checks the
+// diagnostics are identical (to refTol) on 1, 2 and 4 simulated ranks.
+func TestConvectionRegressionShort(t *testing.T) {
+	var nu1, vrms1 float64
+	for _, p := range []int{1, 2, 4} {
+		p := p
+		var nu, vrms float64
+		sim.Run(p, func(r *sim.Rank) {
+			n, v := runRegression(r, regressionConfig(), 2)
+			if r.ID() == 0 {
+				nu, vrms = n, v
+			}
+		})
+		t.Logf("p=%d: Nu=%.11f Vrms=%.11f", p, nu, vrms)
+		if p == 1 {
+			nu1, vrms1 = nu, vrms
+		} else {
+			if math.Abs(nu-nu1) > refTol {
+				t.Errorf("p=%d: Nusselt %.12f differs from p=1 value %.12f", p, nu, nu1)
+			}
+			if math.Abs(vrms-vrms1) > refTol {
+				t.Errorf("p=%d: RMS velocity %.12f differs from p=1 value %.12f", p, vrms, vrms1)
+			}
+		}
+		if math.Abs(nu-refShortNu) > refTol {
+			t.Errorf("p=%d: Nusselt %.12f off pinned reference %.12f", p, nu, refShortNu)
+		}
+		if math.Abs(vrms-refShortVrms) > refTol {
+			t.Errorf("p=%d: RMS velocity %.12f off pinned reference %.12f", p, vrms, refShortVrms)
+		}
+		if nu < 1 {
+			t.Errorf("p=%d: Nusselt %v below conductive bound 1", p, nu)
+		}
+	}
+}
+
+// TestConvectionRegressionFull is the longer (5-cycle) pinned run,
+// skipped under -short.
+func TestConvectionRegressionFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full physics regression runs only without -short")
+	}
+	var nu1, vrms1 float64
+	for _, p := range []int{1, 2, 4} {
+		p := p
+		var nu, vrms float64
+		sim.Run(p, func(r *sim.Rank) {
+			n, v := runRegression(r, regressionConfig(), 5)
+			if r.ID() == 0 {
+				nu, vrms = n, v
+			}
+		})
+		t.Logf("p=%d: Nu=%.11f Vrms=%.11f", p, nu, vrms)
+		if p == 1 {
+			nu1, vrms1 = nu, vrms
+		} else {
+			if math.Abs(nu-nu1) > refTol {
+				t.Errorf("p=%d: Nusselt %.12f differs from p=1 value %.12f", p, nu, nu1)
+			}
+			if math.Abs(vrms-vrms1) > refTol {
+				t.Errorf("p=%d: RMS velocity %.12f differs from p=1 value %.12f", p, vrms, vrms1)
+			}
+		}
+		if math.Abs(nu-refFullNu) > refTol {
+			t.Errorf("p=%d: Nusselt %.12f off pinned reference %.12f", p, nu, refFullNu)
+		}
+		if math.Abs(vrms-refFullVrms) > refTol {
+			t.Errorf("p=%d: RMS velocity %.12f off pinned reference %.12f", p, vrms, refFullVrms)
+		}
+	}
+}
+
+// TestReuseMatchesNoReuse verifies the persistent-solver cache does not
+// change the end-to-end physics: the identical scenario run with the
+// cache disabled (full rebuild every Picard iteration, the pre-reuse
+// behaviour) must produce the same diagnostics to rounding.
+func TestReuseMatchesNoReuse(t *testing.T) {
+	var nuR, vrmsR, nuN, vrmsN float64
+	sim.Run(2, func(r *sim.Rank) {
+		n, v := runRegression(r, regressionConfig(), 2)
+		if r.ID() == 0 {
+			nuR, vrmsR = n, v
+		}
+	})
+	sim.Run(2, func(r *sim.Rank) {
+		cfg := regressionConfig()
+		cfg.NoReuse = true
+		n, v := runRegression(r, cfg, 2)
+		if r.ID() == 0 {
+			nuN, vrmsN = n, v
+		}
+	})
+	if math.Abs(nuR-nuN) > 1e-10 || math.Abs(vrmsR-vrmsN) > 1e-10 {
+		t.Errorf("reuse changes physics: Nu %v vs %v, Vrms %v vs %v", nuR, nuN, vrmsR, vrmsN)
+	}
+}
+
+// TestAdaptStatsInvariants checks the bookkeeping identities of
+// AdaptStats over several cycles and rank counts: the unchanged count is
+// exactly ElementsPrev - Refined - Coarsened and never negative, and the
+// per-level counts sum to the post-adaptation element total.
+func TestAdaptStatsInvariants(t *testing.T) {
+	ranks := []int{1, 3}
+	if testing.Short() {
+		ranks = []int{2}
+	}
+	for _, p := range ranks {
+		p := p
+		sim.Run(p, func(r *sim.Rank) {
+			s := New(r, regressionConfig())
+			for cyc := 0; cyc < 3; cyc++ {
+				s.SolveStokes()
+				s.AdvectSteps(3)
+				st := s.Adapt()
+				if got := st.ElementsPrev - st.Refined - st.Coarsened; st.Unchanged != got {
+					t.Errorf("p=%d cycle %d: Unchanged %d != Prev-Refined-Coarsened %d (%+v)",
+						p, cyc, st.Unchanged, got, st)
+				}
+				if st.Unchanged < 0 {
+					t.Errorf("p=%d cycle %d: negative unchanged count: %+v", p, cyc, st)
+				}
+				var tot int64
+				for _, c := range st.LevelCounts {
+					tot += c
+				}
+				if tot != st.ElementsNow {
+					t.Errorf("p=%d cycle %d: level counts sum %d != ElementsNow %d",
+						p, cyc, tot, st.ElementsNow)
+				}
+				if st.ElementsNow != st.ElementsPrev+7*st.Refined-7*st.Coarsened/8+st.BalanceAdded {
+					t.Errorf("p=%d cycle %d: element count identity violated: %+v", p, cyc, st)
+				}
+			}
+		})
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"rhea/internal/gmg"
 	"rhea/internal/krylov"
 	"rhea/internal/la"
+	"rhea/internal/matfree"
 	"rhea/internal/mesh"
 	"rhea/internal/morton"
 	"rhea/internal/octree"
@@ -96,6 +97,9 @@ type Config struct {
 	// MatrixFree applies the coupled Stokes operator by fused per-element
 	// loops instead of an assembled CSR (see stokes.Options.MatrixFree).
 	MatrixFree bool
+	// MatFree tunes the matrix-free apply (in-rank worker count); see
+	// stokes.Options.MatFree.
+	MatFree matfree.Options
 	// Precond selects the velocity-block preconditioner: assembled AMG
 	// (default) or the matrix-free geometric multigrid hierarchy.
 	// Combined with MatrixFree the Stokes solve assembles no fine-level
@@ -103,6 +107,18 @@ type Config struct {
 	Precond stokes.PrecondKind
 	// GMG tunes the geometric hierarchy when Precond is PrecondGMG.
 	GMG gmg.Options
+	// LocalAMG selects per-rank block-Jacobi AMG hierarchies for the
+	// velocity blocks instead of the default redundant hierarchy; see
+	// stokes.Options.LocalAMG.
+	LocalAMG bool
+	// VelBC prescribes the velocity boundary condition of the Stokes
+	// solve. Defaults to free-slip on the domain box.
+	VelBC stokes.VelBC
+	// NoReuse disables the persistent solver cache: every Picard
+	// iteration rebuilds the full mesh-dependent solver setup from
+	// scratch (the pre-reuse behaviour). Only useful for benchmarking
+	// the cost of the cache (alpsbench -fig timeloop).
+	NoReuse bool
 }
 
 func (c Config) withDefaults() Config {
@@ -133,6 +149,9 @@ func (c Config) withDefaults() Config {
 	if c.Visc == nil {
 		c.Visc = func(_, _, _ float64) float64 { return 1 }
 	}
+	if c.VelBC == nil {
+		c.VelBC = stokes.FreeSlip(c.Dom.Box)
+	}
 	if c.TargetElems == 0 {
 		c.TargetElems = 1 << (3 * c.BaseLevel)
 	}
@@ -140,7 +159,13 @@ func (c Config) withDefaults() Config {
 }
 
 // Timings is the per-function wall-clock breakdown of the paper's Figure
-// 10 (seconds, accumulated on this rank).
+// 10 (seconds, accumulated on this rank). The Stokes solver build is
+// split into its mesh-dependent half (StokesSetup: layouts, Dirichlet
+// gathers, matrix-free slot maps and ghost plans, GMG level meshes and
+// transfer stencils — paid once per mesh adaptation when solver reuse is
+// on) and its viscosity-dependent half (StokesUpdate: viscosity/force
+// evaluation, operator kernels or CSR values, smoother diagonals, coarse
+// AMG, Schur diagonal — paid every Picard iteration).
 type Timings struct {
 	NewTree        float64
 	CoarsenRefine  float64 // CoarsenTree + RefineTree
@@ -151,8 +176,14 @@ type Timings struct {
 	TransferFld    float64 // TransferFields (repartition shipping)
 	MarkElements   float64
 	TimeIntegrate  float64 // explicit advection-diffusion stepping
-	StokesAssemble float64 // operator + preconditioner (AMG setup) build
+	StokesSetup    float64 // mesh-dependent solver setup (stokes.Setup)
+	StokesUpdate   float64 // viscosity-dependent refresh (Solver.Update)
 	MINRES         float64 // Krylov iterations including V-cycles
+
+	// StokesSetups counts how many times the mesh-dependent setup ran;
+	// with reuse enabled it equals 1 + the number of Adapt calls that
+	// were followed by a solve.
+	StokesSetups int
 }
 
 // AMRTotal sums the adaptivity-related components.
@@ -161,9 +192,13 @@ func (t Timings) AMRTotal() float64 {
 		t.InterpolateFld + t.TransferFld + t.MarkElements
 }
 
+// StokesBuild sums both halves of the Stokes solver build (the quantity
+// previously reported as StokesAssemble).
+func (t Timings) StokesBuild() float64 { return t.StokesSetup + t.StokesUpdate }
+
 // SolveTotal sums PDE solution components.
 func (t Timings) SolveTotal() float64 {
-	return t.TimeIntegrate + t.StokesAssemble + t.MINRES
+	return t.TimeIntegrate + t.StokesSetup + t.StokesUpdate + t.MINRES
 }
 
 // AdaptStats describes one mesh adaptation step (paper Fig 5).
@@ -186,12 +221,56 @@ type Sim struct {
 
 	T *la.Vec    // temperature (nodal)
 	U [3]*la.Vec // velocity components (nodal)
+	P *la.Vec    // pressure (nodal); warm-starts the next Stokes solve
 
 	Times   Timings
 	Step    int
 	TimeNow float64
 
+	// solver is the persistent Stokes solver: its mesh-dependent half
+	// (stokes.Setup) is cached across Picard iterations and timesteps
+	// and invalidated by Adapt; each solve only refreshes the
+	// viscosity-dependent half (Solver.Update).
+	solver *stokes.Solver
+
+	// sm is the cached block-1 slot map used to sample nodal fields at
+	// element corners (viscosity, buoyancy, advection velocity) without
+	// rebuilding gather maps each call; invalidated with the solver.
+	sm *matfree.SlotMap
+
 	lastMinres krylov.Result
+}
+
+// slotMap returns the per-mesh corner slot map: the cached Stokes
+// solver's node slot map when one exists (avoiding a duplicate exchange
+// plan), otherwise one built on first use after each extraction
+// (collective on first use).
+func (s *Sim) slotMap() *matfree.SlotMap {
+	if s.sm == nil {
+		if s.solver != nil {
+			s.sm = s.solver.NodeSlots()
+		} else {
+			s.sm = matfree.NewSlotMap(s.Mesh, 1)
+		}
+	}
+	return s.sm
+}
+
+// gatherSlotsMulti fills one slot-space buffer per field in a single
+// exchange round (collective).
+func (s *Sim) gatherSlotsMulti(sm *matfree.SlotMap, vs ...*la.Vec) [][]float64 {
+	n := sm.NOwned
+	bufs := make([][]float64, len(vs))
+	owned := make([][]float64, len(vs))
+	ghost := make([][]float64, len(vs))
+	for f, v := range vs {
+		bufs[f] = make([]float64, sm.NSlots())
+		copy(bufs[f], v.Data)
+		owned[f] = v.Data
+		ghost[f] = bufs[f][n:]
+	}
+	sm.GX.GatherMulti(owned, ghost)
+	return bufs
 }
 
 // New builds the initial adapted mesh and temperature field (collective).
@@ -218,10 +297,14 @@ func (s *Sim) extract() {
 	t0 := time.Now()
 	s.Mesh = mesh.Extract(s.Tree)
 	s.Times.ExtractMesh += time.Since(t0).Seconds()
-	// Velocity defaults to zero on the new mesh.
+	// Velocity and pressure default to zero on the new mesh, and the
+	// cached Stokes solver is bound to the old mesh — drop it.
 	for c := 0; c < 3; c++ {
 		s.U[c] = la.NewVec(s.Mesh.Layout())
 	}
+	s.P = la.NewVec(s.Mesh.Layout())
+	s.solver = nil
+	s.sm = nil
 }
 
 func (s *Sim) setInitialTemp() {
@@ -265,6 +348,7 @@ func (s *Sim) Adapt() AdaptStats {
 	for c := 0; c < 3; c++ {
 		dataU[c] = field.FromNodal(s.Mesh, s.U[c])
 	}
+	dataP := field.FromNodal(s.Mesh, s.P)
 	oldLeaves := append([]morton.Octant(nil), s.Tree.Leaves()...)
 	s.Times.InterpolateFld += time.Since(t0).Seconds()
 
@@ -299,6 +383,7 @@ func (s *Sim) Adapt() AdaptStats {
 	for c := 0; c < 3; c++ {
 		dataU[c] = field.ProjectData(oldLeaves, s.Tree.Leaves(), dataU[c])
 	}
+	dataP = field.ProjectData(oldLeaves, s.Tree.Leaves(), dataP)
 	s.Times.InterpolateFld += time.Since(t0).Seconds()
 
 	t0 = time.Now()
@@ -310,6 +395,7 @@ func (s *Sim) Adapt() AdaptStats {
 	for c := 0; c < 3; c++ {
 		dataU[c] = field.Transfer(s.Rank, dests, dataU[c])
 	}
+	dataP = field.Transfer(s.Rank, dests, dataP)
 	s.Times.TransferFld += time.Since(t0).Seconds()
 
 	s.extract()
@@ -319,6 +405,7 @@ func (s *Sim) Adapt() AdaptStats {
 	for c := 0; c < 3; c++ {
 		s.U[c] = field.ToNodal(s.Mesh, dataU[c])
 	}
+	s.P = field.ToNodal(s.Mesh, dataP)
 	// Re-impose temperature boundary values after projection.
 	bc := s.TempBC()
 	for i, pos := range s.Mesh.OwnedPos {
@@ -338,28 +425,53 @@ func (s *Sim) Adapt() AdaptStats {
 }
 
 // ElementViscosity evaluates the viscosity law per local element from the
-// current temperature and velocity fields (collective).
+// current temperature and velocity fields (collective). Corner values are
+// sampled through the cached slot map, so repeated Picard evaluations on
+// one mesh build no gather maps.
 func (s *Sim) ElementViscosity() []float64 {
-	tvals := s.Mesh.GatherReferenced(s.T)
-	var uvals [3]map[int64]float64
-	for c := 0; c < 3; c++ {
-		uvals[c] = s.Mesh.GatherReferenced(s.U[c])
+	eta, _ := s.viscosityAndBuoyancy(false)
+	return eta
+}
+
+// viscosityAndBuoyancy evaluates the per-element viscosity and (when
+// wantForce is set) the Ra*T*e_z body force at element corners in one
+// pass (collective): the temperature and velocity are gathered through
+// the cached slot map and each element's corners are resolved once. This
+// is the whole per-Picard-iteration field evaluation of the time loop.
+func (s *Sim) viscosityAndBuoyancy(wantForce bool) ([]float64, [][8][3]float64) {
+	sm := s.slotMap()
+	bufs := s.gatherSlotsMulti(sm, s.T, s.U[0], s.U[1], s.U[2])
+	tb := bufs[0]
+	ub := [3][]float64{bufs[1], bufs[2], bufs[3]}
+	var force [][8][3]float64
+	if wantForce {
+		force = make([][8][3]float64, len(s.Mesh.Leaves))
 	}
 	out := make([]float64, len(s.Mesh.Leaves))
 	xi := [3]float64{0.5, 0.5, 0.5}
+	var sgc [8][3]float64
+	for c := 0; c < 8; c++ {
+		sgc[c] = fem.ShapeGrad(c, xi)
+	}
 	for ei, leaf := range s.Mesh.Leaves {
 		h := s.Cfg.Dom.ElemSize(leaf)
 		var Tc float64
 		var grad [3][3]float64
 		for c := 0; c < 8; c++ {
-			tv := s.Mesh.CornerValue(tvals, ei, c)
+			co := &sm.Corners[ei][c]
+			var tv float64
+			for k := 0; k < int(co.N); k++ {
+				tv += co.W[k] * tb[co.Slot[k]]
+			}
 			Tc += tv / 8
-			sg := fem.ShapeGrad(c, xi)
+			if wantForce {
+				force[ei][c] = [3]float64{0, 0, s.Cfg.Ra * tv}
+			}
+			sg := sgc[c]
 			for d := 0; d < 3; d++ {
-				co := &s.Mesh.Corners[ei][c]
 				var uv float64
 				for k := 0; k < int(co.N); k++ {
-					uv += co.W[k] * uvals[d][co.GID[k]]
+					uv += co.W[k] * ub[d][co.Slot[k]]
 				}
 				for j := 0; j < 3; j++ {
 					grad[d][j] += uv * sg[j] / h[j]
@@ -385,48 +497,55 @@ func (s *Sim) ElementViscosity() []float64 {
 		}
 		out[ei] = v
 	}
-	return out
+	return out, force
 }
 
-// buoyancy builds the Ra*T*e_z body force at element corners.
-func (s *Sim) buoyancy() [][8][3]float64 {
-	tvals := s.Mesh.GatherReferenced(s.T)
-	out := make([][8][3]float64, len(s.Mesh.Leaves))
-	for ei := range s.Mesh.Leaves {
-		for c := 0; c < 8; c++ {
-			out[ei][c] = [3]float64{0, 0, s.Cfg.Ra * s.Mesh.CornerValue(tvals, ei, c)}
-		}
+// stokesOptions maps the Config onto the Stokes solver options.
+func (s *Sim) stokesOptions() stokes.Options {
+	return stokes.Options{
+		AMG: s.Cfg.AMG, MatrixFree: s.Cfg.MatrixFree, MatFree: s.Cfg.MatFree,
+		Precond: s.Cfg.Precond, GMG: s.Cfg.GMG, LocalAMG: s.Cfg.LocalAMG,
 	}
-	return out
 }
 
-// SolveStokes updates the velocity from the current temperature with
-// Picard iteration on the strain-rate-dependent viscosity (collective).
-// It returns the last MINRES result.
+// SolveStokes updates the velocity and pressure from the current
+// temperature with Picard iteration on the strain-rate-dependent
+// viscosity (collective). The mesh-dependent solver setup is cached
+// across Picard iterations and timesteps until the next Adapt; each
+// iteration only refreshes the viscosity-dependent half and warm-starts
+// MINRES from the current velocity and pressure. It returns the last
+// MINRES result.
 func (s *Sim) SolveStokes() krylov.Result {
-	bc := stokes.FreeSlip(s.Cfg.Dom.Box)
 	var res krylov.Result
 	for pic := 0; pic < s.Cfg.Picard; pic++ {
+		if s.solver == nil || s.Cfg.NoReuse {
+			t0 := time.Now()
+			s.solver = stokes.Setup(s.Mesh, s.Cfg.Dom, s.Cfg.VelBC, s.stokesOptions())
+			s.Times.StokesSetup += time.Since(t0).Seconds()
+			s.Times.StokesSetups++
+			// Share the solver's node slot map for field sampling, even if
+			// a standalone one was built before the first solve.
+			s.sm = s.solver.NodeSlots()
+		}
 		t0 := time.Now()
-		eta := s.ElementViscosity()
-		force := s.buoyancy()
-		sys := stokes.Assemble(s.Mesh, s.Cfg.Dom, eta, force, bc,
-			stokes.Options{AMG: s.Cfg.AMG, MatrixFree: s.Cfg.MatrixFree,
-				Precond: s.Cfg.Precond, GMG: s.Cfg.GMG})
-		s.Times.StokesAssemble += time.Since(t0).Seconds()
+		eta, force := s.viscosityAndBuoyancy(true)
+		s.solver.Update(eta, force)
+		s.Times.StokesUpdate += time.Since(t0).Seconds()
 
 		t0 = time.Now()
-		x := la.NewVec(sys.Layout)
-		// Warm start from the current velocity.
+		x := la.NewVec(s.solver.Layout)
+		// Warm start from the current velocity and pressure.
 		for i := 0; i < s.Mesh.NumOwned; i++ {
 			for c := 0; c < 3; c++ {
 				x.Data[4*i+c] = s.U[c].Data[i]
 			}
+			x.Data[4*i+3] = s.P.Data[i]
 		}
-		res = sys.Solve(x, s.Cfg.MinresTol, s.Cfg.MinresMax)
+		res = s.solver.Solve(x, s.Cfg.MinresTol, s.Cfg.MinresMax)
 		s.Times.MINRES += time.Since(t0).Seconds()
-		u, _ := sys.SplitSolution(x)
+		u, p := s.solver.SplitSolution(x)
 		s.U = u
+		s.P = p
 	}
 	s.lastMinres = res
 	return res
@@ -458,18 +577,17 @@ func (s *Sim) AdvectSteps(n int) float64 {
 
 // elemVelocity samples the nodal velocity at element corners.
 func (s *Sim) elemVelocity() [][8][3]float64 {
-	var uvals [3]map[int64]float64
-	for c := 0; c < 3; c++ {
-		uvals[c] = s.Mesh.GatherReferenced(s.U[c])
-	}
+	sm := s.slotMap()
+	bufs := s.gatherSlotsMulti(sm, s.U[0], s.U[1], s.U[2])
+	ub := [3][]float64{bufs[0], bufs[1], bufs[2]}
 	out := make([][8][3]float64, len(s.Mesh.Leaves))
 	for ei := range s.Mesh.Leaves {
 		for c := 0; c < 8; c++ {
-			co := &s.Mesh.Corners[ei][c]
+			co := &sm.Corners[ei][c]
 			for d := 0; d < 3; d++ {
 				var v float64
 				for k := 0; k < int(co.N); k++ {
-					v += co.W[k] * uvals[d][co.GID[k]]
+					v += co.W[k] * ub[d][co.Slot[k]]
 				}
 				out[ei][c][d] = v
 			}
@@ -485,6 +603,71 @@ func (s *Sim) RunCycle() AdaptStats {
 	s.SolveStokes()
 	s.AdvectSteps(s.Cfg.AdaptEvery)
 	return s.Adapt()
+}
+
+// Nusselt returns the Nusselt number: the volume-averaged vertical heat
+// flux (advective u_z*T plus conductive -dT/dz) through the layer,
+// normalized by the conductive flux of the motionless state, evaluated
+// with midpoint quadrature per element (collective). The motionless
+// conductive profile gives exactly 1; vigorous convection pushes it up.
+// With the temperature scale ΔT = 1 and diffusivity κ = 1 used by the
+// transport step, Nu = ∫ (u_z T - dT/dz) dV / (Lx Ly).
+func (s *Sim) Nusselt() float64 {
+	sm := s.slotMap()
+	bufs := s.gatherSlotsMulti(sm, s.T, s.U[2])
+	tb, wb := bufs[0], bufs[1]
+	xi := [3]float64{0.5, 0.5, 0.5}
+	var sum float64
+	for ei, leaf := range s.Mesh.Leaves {
+		h := s.Cfg.Dom.ElemSize(leaf)
+		vol := h[0] * h[1] * h[2]
+		var Tc, wc, dTdz float64
+		for c := 0; c < 8; c++ {
+			co := &sm.Corners[ei][c]
+			var tv, wv float64
+			for k := 0; k < int(co.N); k++ {
+				tv += co.W[k] * tb[co.Slot[k]]
+				wv += co.W[k] * wb[co.Slot[k]]
+			}
+			Tc += tv / 8
+			wc += wv / 8
+			g := fem.ShapeGrad(c, xi)
+			dTdz += tv * g[2] / h[2]
+		}
+		sum += (wc*Tc - dTdz) * vol
+	}
+	total := s.Rank.Allreduce(sum, sim.OpSum)
+	return total / (s.Cfg.Dom.Box[0] * s.Cfg.Dom.Box[1])
+}
+
+// RMSVelocity returns the volume-root-mean-square velocity magnitude
+// sqrt( (1/V) ∫ |u|^2 dV ), evaluated with midpoint quadrature per
+// element (collective).
+func (s *Sim) RMSVelocity() float64 {
+	sm := s.slotMap()
+	bufs := s.gatherSlotsMulti(sm, s.U[0], s.U[1], s.U[2])
+	var sum float64
+	for ei, leaf := range s.Mesh.Leaves {
+		h := s.Cfg.Dom.ElemSize(leaf)
+		vol := h[0] * h[1] * h[2]
+		var u2 float64
+		for d := 0; d < 3; d++ {
+			var uc float64
+			for c := 0; c < 8; c++ {
+				co := &sm.Corners[ei][c]
+				var v float64
+				for k := 0; k < int(co.N); k++ {
+					v += co.W[k] * bufs[d][co.Slot[k]]
+				}
+				uc += v / 8
+			}
+			u2 += uc * uc
+		}
+		sum += u2 * vol
+	}
+	total := s.Rank.Allreduce(sum, sim.OpSum)
+	b := s.Cfg.Dom.Box
+	return math.Sqrt(total / (b[0] * b[1] * b[2]))
 }
 
 // MaxVelocity returns the global maximum velocity magnitude (collective).

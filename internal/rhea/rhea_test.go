@@ -86,8 +86,11 @@ func TestStokesDevelopsFlow(t *testing.T) {
 		if v := s.MaxVelocity(); v <= 0 {
 			t.Errorf("no flow developed: max |u| = %v", v)
 		}
-		if s.Times.MINRES <= 0 || s.Times.StokesAssemble <= 0 {
+		if s.Times.MINRES <= 0 || s.Times.StokesSetup <= 0 || s.Times.StokesUpdate <= 0 {
 			t.Errorf("timings not recorded: %+v", s.Times)
+		}
+		if s.Times.StokesSetups != 1 {
+			t.Errorf("expected exactly one mesh-dependent setup, got %d", s.Times.StokesSetups)
 		}
 	})
 }

@@ -17,6 +17,17 @@
 // Degrees of freedom are interleaved per node: dof(g,c) = 4 g + c with
 // c = 0,1,2 the velocity components and c = 3 the pressure. Because node
 // ids are contiguous per rank, so are dof blocks.
+//
+// Solver setup is split into two halves so a time loop can amortize the
+// expensive one. Setup builds everything that depends only on the mesh
+// and boundary conditions: the dof layout, gathered Dirichlet masks, the
+// matrix-free slot maps and ghost-exchange plans, and the GMG level
+// hierarchy with its transfer stencils. Update refreshes everything that
+// depends on the viscosity and body force: operator kernels or CSR
+// values, the right-hand side, multigrid smoother diagonals, the coarse
+// AMG, and the Schur diagonal. A convection loop calls Setup once per
+// mesh adaptation and Update once per Picard iteration; Assemble remains
+// the one-shot composition of the two.
 package stokes
 
 import (
@@ -62,11 +73,13 @@ func NoSlip(box [3]float64) VelBC {
 	}
 }
 
-// System is a Stokes problem plus its preconditioner. The coupled
-// operator is either an assembled distributed CSR (A) or a matrix-free
-// per-element apply (MF), selected by Options.MatrixFree; Op is whichever
-// one Solve iterates with.
-type System struct {
+// Solver is a Stokes problem plus its preconditioner, split into cached
+// mesh-dependent state (built once by Setup) and viscosity-dependent
+// state (refreshed by Update). The coupled operator is either an
+// assembled distributed CSR (A) or a matrix-free per-element apply (MF),
+// selected by Options.MatrixFree; Op is whichever one Solve iterates
+// with. A Solver is only usable after at least one Update.
+type Solver struct {
 	M      *mesh.Mesh
 	Dom    fem.Domain
 	Layout *la.Layout        // 4N dof layout
@@ -79,6 +92,25 @@ type System struct {
 	// preconditioner when Options.Precond == PrecondGMG (nil otherwise).
 	GMGH *gmg.Hierarchy
 
+	// cached mesh/BC-dependent state
+	opts    Options
+	bc      VelBC
+	dofBC   matfree.DofBC   // gathered Dirichlet flags/values per dof
+	compBC  [3]fem.ScalarBC // per-velocity-component scalar view of bc
+	compBCD [3]*fem.BCData  // gathered per-component Dirichlet data (AMG path)
+	nodeL   *la.Layout
+	// unit scalar stiffness kernels per element (aliased per octree
+	// level), scaled by the viscosity on the AMG-preconditioner refresh
+	// path instead of re-running quadrature.
+	scalKern []*[8][8]float64
+
+	// Schur-diagonal assembly plan: the inverse-viscosity-weighted lumped
+	// pressure mass is linear in 1/eta per element, so the slot-space
+	// coefficients are precomputed and each Update reduces to a flat scan
+	// plus one ghost scatter-add.
+	nodeSM    *matfree.SlotMap
+	schurPlan []schurTerm
+
 	velPC    [3]krylov.Operator // multigrid V-cycle per velocity component
 	schurInv *la.Vec            // nodal inverse of S~ diagonal
 	nOwned   int
@@ -86,6 +118,16 @@ type System struct {
 	// work vectors for the preconditioner (node layout)
 	xc, yc *la.Vec
 }
+
+// schurTerm is one precomputed contribution (1/eta[Elem])*Coef to the
+// lumped pressure mass at Slot.
+type schurTerm struct {
+	Slot, Elem int32
+	Coef       float64
+}
+
+// System is the historical name for Solver (one-shot Assemble use).
+type System = Solver
 
 // PrecondKind selects the velocity-block preconditioner family.
 type PrecondKind int
@@ -122,21 +164,25 @@ type Options struct {
 	MatFree matfree.Options
 }
 
-// Assemble builds the Stokes system (collective).
-//
-// etaElem gives the constant viscosity of each local element. force gives
-// the body-force vector at each element corner (e.g. Ra*T*e_r). bc
-// prescribes the velocity Dirichlet conditions.
-func Assemble(m *mesh.Mesh, dom fem.Domain, etaElem []float64, force [][8][3]float64, bc VelBC, opts Options) *System {
-	s := &System{M: m, Dom: dom, nOwned: m.NumOwned}
+// Setup builds the mesh- and BC-dependent half of the Stokes solver
+// (collective): the 4N dof layout, gathered velocity Dirichlet masks, the
+// matrix-free operator's slot numbering and ghost-exchange plans (when
+// Options.MatrixFree), and the GMG level hierarchy with transfer stencils
+// and per-component V-cycle structure (when Options.Precond ==
+// PrecondGMG). Nothing viscosity-dependent is computed; call Update with
+// the per-element viscosity and body force before Solve. The returned
+// Solver is cached by the convection time loop and survives unchanged
+// until the mesh adapts.
+func Setup(m *mesh.Mesh, dom fem.Domain, bc VelBC, opts Options) *Solver {
+	s := &Solver{M: m, Dom: dom, bc: bc, opts: opts, nOwned: m.NumOwned}
 	s.Layout = la.NewLayout(m.Rank, 4*m.NumOwned)
+	s.nodeL = m.Layout()
 
 	// Gather per-node velocity BC flags and values.
-	nodeL := m.Layout()
-	mask := la.NewVec(nodeL)
+	mask := la.NewVec(s.nodeL)
 	var vv [3]*la.Vec
 	for c := 0; c < 3; c++ {
-		vv[c] = la.NewVec(nodeL)
+		vv[c] = la.NewVec(s.nodeL)
 	}
 	for i, pos := range m.OwnedPos {
 		fixed, vals := bc(dom.Coord(pos))
@@ -155,7 +201,7 @@ func Assemble(m *mesh.Mesh, dom fem.Domain, etaElem []float64, force [][8][3]flo
 		valMap[c] = m.GatherReferenced(vv[c])
 	}
 	// dofBC returns (value, true) if the dof is constrained.
-	dofBC := func(g int64, c int) (float64, bool) {
+	s.dofBC = func(g int64, c int) (float64, bool) {
 		if c == 3 {
 			if g == 0 { // pressure pin
 				return 0, true
@@ -167,129 +213,85 @@ func Assemble(m *mesh.Mesh, dom fem.Domain, etaElem []float64, force [][8][3]flo
 		}
 		return 0, false
 	}
+	for c := 0; c < 3; c++ {
+		c := c
+		s.compBC[c] = func(x [3]float64) (float64, bool) {
+			fixed, vals := bc(x)
+			if fixed[c] {
+				return vals[c], true
+			}
+			return 0, false
+		}
+	}
 
 	if opts.MatrixFree {
-		mf := matfree.New(m, dom, s.Layout, etaElem, dofBC, opts.MatFree)
-		s.MF, s.Op = mf, mf
-		s.B = mf.RHS(force)
+		// Slot maps, ghost plans, constraint tables and kernels are all
+		// mesh-dependent; the viscosity is attached by Update.
+		s.MF = matfree.New(m, dom, s.Layout, nil, s.dofBC, opts.MatFree)
+		s.Op = s.MF
+	}
+
+	if opts.Precond == PrecondGMG {
+		// Level meshes, transfer stencils and the per-component V-cycle
+		// structure; smoother diagonals and the coarse AMG wait for the
+		// first Update/Rebuild.
+		s.GMGH = gmg.NewHierarchy(m, dom, opts.GMG)
+		for c := 0; c < 3; c++ {
+			s.velPC[c] = s.GMGH.Precond(s.compBC[c])
+		}
 	} else {
-		A := la.NewMat(s.Layout)
-		bb := la.NewVecBuilder(s.Layout)
+		// Unit stiffness kernels and gathered per-component Dirichlet
+		// data for the Poisson CSRs the AMG refresh re-assembles each
+		// Update; both are mesh-dependent.
+		s.scalKern = fem.UnitStiffnessKernels(m, dom)
+		for c := 0; c < 3; c++ {
+			s.compBCD[c] = fem.GatherBC(m, dom, s.compBC[c])
+		}
+	}
 
-		for ei, leaf := range m.Leaves {
-			h := dom.ElemSize(leaf)
-			eta := etaElem[ei]
-			Av := fem.ViscousBrick(h, eta)
-			Bd := fem.DivergenceBrick(h)
-			Cs := fem.StabilizationBrick(h, eta)
-			M8 := fem.MassBrick(h, 1)
-			cs := &m.Corners[ei]
-
-			// Consistent body-force load: F[a][i] = sum_b M8[a][b] f[b][i].
-			var F [8][3]float64
-			if force != nil {
-				for a := 0; a < 8; a++ {
-					for b := 0; b < 8; b++ {
-						for i := 0; i < 3; i++ {
-							F[a][i] += M8[a][b] * force[ei][b][i]
-						}
-					}
-				}
-			}
-
-			for a := 0; a < 8; a++ {
-				for ia := 0; ia < int(cs[a].N); ia++ {
-					ga, wa := cs[a].GID[ia], cs[a].W[ia]
-					// Velocity momentum rows.
-					for i := 0; i < 3; i++ {
-						if _, is := dofBC(ga, i); is {
-							continue
-						}
-						row := 4*ga + int64(i)
-						bb.Add(row, wa*F[a][i])
-						for b := 0; b < 8; b++ {
-							for ib := 0; ib < int(cs[b].N); ib++ {
-								gb, wb := cs[b].GID[ib], cs[b].W[ib]
-								w := wa * wb
-								// viscous block
-								for j := 0; j < 3; j++ {
-									v := w * Av[3*a+i][3*b+j]
-									if v == 0 {
-										continue
-									}
-									if bv, is := dofBC(gb, j); is {
-										bb.Add(row, -v*bv)
-									} else {
-										A.AddValue(row, 4*gb+int64(j), v)
-									}
-								}
-								// grad-p coupling: entry (v-row (a,i), p-col b)
-								v := w * Bd[b][3*a+i]
-								if v != 0 {
-									if bv, is := dofBC(gb, 3); is {
-										bb.Add(row, -v*bv)
-									} else {
-										A.AddValue(row, 4*gb+3, v)
-									}
-								}
-							}
-						}
-					}
-					// Pressure continuity row.
-					if _, is := dofBC(ga, 3); is {
-						continue
-					}
-					prow := 4*ga + 3
-					for b := 0; b < 8; b++ {
-						for ib := 0; ib < int(cs[b].N); ib++ {
-							gb, wb := cs[b].GID[ib], cs[b].W[ib]
-							w := wa * wb
-							for j := 0; j < 3; j++ {
-								v := w * Bd[a][3*b+j]
-								if v == 0 {
-									continue
-								}
-								if bv, is := dofBC(gb, j); is {
-									bb.Add(prow, -v*bv)
-								} else {
-									A.AddValue(prow, 4*gb+int64(j), v)
-								}
-							}
-							// stabilization block: -C
-							v := -w * Cs[a][b]
-							if v != 0 {
-								if bv, is := dofBC(gb, 3); is {
-									bb.Add(prow, -v*bv)
-								} else {
-									A.AddValue(prow, 4*gb+3, v)
-								}
-							}
-						}
-					}
-				}
+	// Slot map + lumped-mass coefficients for the Schur diagonal refresh.
+	// The GMG hierarchy's finest level already built the identical map;
+	// share it rather than re-running the collective plan construction.
+	if s.GMGH != nil {
+		s.nodeSM = s.GMGH.FineSlots()
+	} else {
+		s.nodeSM = matfree.NewSlotMap(m, 1)
+	}
+	for ei, leaf := range m.Leaves {
+		h := dom.ElemSize(leaf)
+		lm := fem.LumpedMassBrick(h, 1)
+		cs := &s.nodeSM.Corners[ei]
+		for a := 0; a < 8; a++ {
+			for ia := 0; ia < int(cs[a].N); ia++ {
+				s.schurPlan = append(s.schurPlan, schurTerm{
+					Slot: cs[a].Slot[ia], Elem: int32(ei), Coef: cs[a].W[ia] * lm[a]})
 			}
 		}
-		// Identity rows for constrained dofs owned here.
-		for i := 0; i < m.NumOwned; i++ {
-			g := m.Offset + int64(i)
-			for c := 0; c < 4; c++ {
-				if _, is := dofBC(g, c); is {
-					A.AddValue(4*g+int64(c), 4*g+int64(c), 1)
-				}
-			}
-		}
-		A.Assemble()
-		b := bb.Finalize()
-		for i := 0; i < m.NumOwned; i++ {
-			g := m.Offset + int64(i)
-			for c := 0; c < 4; c++ {
-				if v, is := dofBC(g, c); is {
-					b.Data[4*i+c] = v
-				}
-			}
-		}
-		s.A, s.B = A, b
-		s.Op = A
+	}
+
+	s.schurInv = la.NewVec(s.nodeL)
+	s.xc = la.NewVec(s.nodeL)
+	s.yc = la.NewVec(s.nodeL)
+	return s
+}
+
+// Update refreshes the viscosity- and force-dependent half of the solver
+// (collective): the coupled operator (matrix-free kernel viscosities or a
+// re-assembled CSR), the right-hand side, the velocity-block multigrid
+// numerics (GMG smoother diagonals + coarse AMG via Hierarchy.Rebuild, or
+// re-assembled scalar CSRs + AMG hierarchies), and the Schur diagonal.
+// etaElem gives the constant viscosity of each local element; force gives
+// the body-force vector at each element corner (e.g. Ra*T*e_r), nil for
+// none. After Update the solver is numerically identical to a fresh
+// Assemble with the same inputs. It returns the solver for chaining.
+func (s *Solver) Update(etaElem []float64, force [][8][3]float64) *Solver {
+	m, dom, opts := s.M, s.Dom, s.opts
+
+	if opts.MatrixFree {
+		s.MF.SetViscosity(etaElem)
+		s.B = s.MF.RHS(force)
+	} else {
+		s.assembleCoupled(etaElem, force)
 	}
 
 	// --- Preconditioner ---------------------------------------------
@@ -297,51 +299,42 @@ func Assemble(m *mesh.Mesh, dom fem.Domain, etaElem []float64, force [][8][3]flo
 	// A~: the variable-viscosity vector Laplacian, approximated per
 	// velocity component (with that component's Dirichlet set) by one
 	// multigrid V-cycle. PrecondAMG assembles a scalar Poisson CSR per
-	// component and builds an algebraic hierarchy; PrecondGMG runs the
-	// matrix-free geometric hierarchy instead — the three components
+	// component and builds an algebraic hierarchy; PrecondGMG refreshes
+	// the matrix-free geometric hierarchy instead — the three components
 	// share one level stack, and the only matrix ever assembled is the
 	// coarsest level's.
 	if opts.Precond == PrecondGMG {
-		s.GMGH = gmg.New(m, dom, etaElem, opts.GMG)
-	}
-	for c := 0; c < 3; c++ {
-		c := c
-		compBC := func(x [3]float64) (float64, bool) {
-			fixed, vals := bc(x)
-			if fixed[c] {
-				return vals[c], true
+		s.GMGH.Rebuild(etaElem)
+	} else {
+		elemMat := func(ei int, h [3]float64) [8][8]float64 {
+			K := *s.scalKern[ei]
+			eta := etaElem[ei]
+			for a := 0; a < 8; a++ {
+				for b := 0; b < 8; b++ {
+					K[a][b] *= eta
+				}
 			}
-			return 0, false
+			return K
 		}
-		if opts.Precond == PrecondGMG {
-			s.velPC[c] = s.GMGH.Precond(compBC)
-			continue
-		}
-		Ac, _, _ := fem.AssembleScalar(m, dom,
-			func(ei int, h [3]float64) [8][8]float64 {
-				return fem.StiffnessBrick(h, etaElem[ei])
-			}, nil, compBC)
-		if opts.LocalAMG {
-			s.velPC[c] = amg.NewBlockJacobi(Ac, opts.AMG)
-		} else {
-			s.velPC[c] = amg.NewRedundant(Ac, opts.AMG)
+		for c := 0; c < 3; c++ {
+			Ac, _, _ := fem.AssembleScalarWithBC(m, dom, elemMat, nil, s.compBCD[c])
+			if opts.LocalAMG {
+				s.velPC[c] = amg.NewBlockJacobi(Ac, opts.AMG)
+			} else {
+				s.velPC[c] = amg.NewRedundant(Ac, opts.AMG)
+			}
 		}
 	}
 
-	// S~: inverse-viscosity-weighted lumped pressure mass.
-	sb := la.NewVecBuilder(nodeL)
-	for ei, leaf := range m.Leaves {
-		h := dom.ElemSize(leaf)
-		lm := fem.LumpedMassBrick(h, 1.0/etaElem[ei])
-		cs := &m.Corners[ei]
-		for a := 0; a < 8; a++ {
-			for ia := 0; ia < int(cs[a].N); ia++ {
-				sb.Add(cs[a].GID[ia], cs[a].W[ia]*lm[a])
-			}
-		}
+	// S~: inverse-viscosity-weighted lumped pressure mass, from the
+	// precomputed slot-space plan (one scan + one ghost scatter-add).
+	acc := make([]float64, s.nodeSM.NSlots())
+	for _, t := range s.schurPlan {
+		acc[t.Slot] += t.Coef / etaElem[t.Elem]
 	}
-	sd := sb.Finalize()
-	s.schurInv = la.NewVec(nodeL)
+	sd := la.NewVec(s.nodeL)
+	copy(sd.Data, acc[:s.nOwned])
+	s.nodeSM.GX.ScatterAdd(acc[s.nOwned:], sd.Data)
 	for i, v := range sd.Data {
 		if v > 0 {
 			s.schurInv.Data[i] = 1 / v
@@ -349,13 +342,155 @@ func Assemble(m *mesh.Mesh, dom fem.Domain, etaElem []float64, force [][8][3]flo
 			s.schurInv.Data[i] = 1
 		}
 	}
-	s.xc = la.NewVec(nodeL)
-	s.yc = la.NewVec(nodeL)
 	return s
 }
 
+// assembleCoupled builds the coupled saddle-point CSR and right-hand side
+// for the current viscosity and force (collective). The sparsity pattern
+// is mesh-dependent, but la.Mat freezes it at Assemble time, so the CSR
+// is rebuilt per Update; the cached Dirichlet maps are reused.
+func (s *Solver) assembleCoupled(etaElem []float64, force [][8][3]float64) {
+	m, dom := s.M, s.Dom
+	dofBC := s.dofBC
+	A := la.NewMat(s.Layout)
+	bb := la.NewVecBuilder(s.Layout)
+
+	for ei, leaf := range m.Leaves {
+		h := dom.ElemSize(leaf)
+		eta := etaElem[ei]
+		Av := fem.ViscousBrick(h, eta)
+		Bd := fem.DivergenceBrick(h)
+		Cs := fem.StabilizationBrick(h, eta)
+		M8 := fem.MassBrick(h, 1)
+		cs := &m.Corners[ei]
+
+		// Consistent body-force load: F[a][i] = sum_b M8[a][b] f[b][i].
+		var F [8][3]float64
+		if force != nil {
+			for a := 0; a < 8; a++ {
+				for b := 0; b < 8; b++ {
+					for i := 0; i < 3; i++ {
+						F[a][i] += M8[a][b] * force[ei][b][i]
+					}
+				}
+			}
+		}
+
+		for a := 0; a < 8; a++ {
+			for ia := 0; ia < int(cs[a].N); ia++ {
+				ga, wa := cs[a].GID[ia], cs[a].W[ia]
+				// Velocity momentum rows.
+				for i := 0; i < 3; i++ {
+					if _, is := dofBC(ga, i); is {
+						continue
+					}
+					row := 4*ga + int64(i)
+					bb.Add(row, wa*F[a][i])
+					for b := 0; b < 8; b++ {
+						for ib := 0; ib < int(cs[b].N); ib++ {
+							gb, wb := cs[b].GID[ib], cs[b].W[ib]
+							w := wa * wb
+							// viscous block
+							for j := 0; j < 3; j++ {
+								v := w * Av[3*a+i][3*b+j]
+								if v == 0 {
+									continue
+								}
+								if bv, is := dofBC(gb, j); is {
+									bb.Add(row, -v*bv)
+								} else {
+									A.AddValue(row, 4*gb+int64(j), v)
+								}
+							}
+							// grad-p coupling: entry (v-row (a,i), p-col b)
+							v := w * Bd[b][3*a+i]
+							if v != 0 {
+								if bv, is := dofBC(gb, 3); is {
+									bb.Add(row, -v*bv)
+								} else {
+									A.AddValue(row, 4*gb+3, v)
+								}
+							}
+						}
+					}
+				}
+				// Pressure continuity row.
+				if _, is := dofBC(ga, 3); is {
+					continue
+				}
+				prow := 4*ga + 3
+				for b := 0; b < 8; b++ {
+					for ib := 0; ib < int(cs[b].N); ib++ {
+						gb, wb := cs[b].GID[ib], cs[b].W[ib]
+						w := wa * wb
+						for j := 0; j < 3; j++ {
+							v := w * Bd[a][3*b+j]
+							if v == 0 {
+								continue
+							}
+							if bv, is := dofBC(gb, j); is {
+								bb.Add(prow, -v*bv)
+							} else {
+								A.AddValue(prow, 4*gb+int64(j), v)
+							}
+						}
+						// stabilization block: -C
+						v := -w * Cs[a][b]
+						if v != 0 {
+							if bv, is := dofBC(gb, 3); is {
+								bb.Add(prow, -v*bv)
+							} else {
+								A.AddValue(prow, 4*gb+3, v)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	// Identity rows for constrained dofs owned here.
+	for i := 0; i < m.NumOwned; i++ {
+		g := m.Offset + int64(i)
+		for c := 0; c < 4; c++ {
+			if _, is := dofBC(g, c); is {
+				A.AddValue(4*g+int64(c), 4*g+int64(c), 1)
+			}
+		}
+	}
+	A.Assemble()
+	b := bb.Finalize()
+	for i := 0; i < m.NumOwned; i++ {
+		g := m.Offset + int64(i)
+		for c := 0; c < 4; c++ {
+			if v, is := dofBC(g, c); is {
+				b.Data[4*i+c] = v
+			}
+		}
+	}
+	s.A, s.B = A, b
+	s.Op = A
+}
+
+// NodeSlots returns the solver's block-1 node slot map (owned nodes
+// first, then ghosts, with one reusable exchange plan). Application
+// loops that sample nodal fields at element corners between solves can
+// share it instead of building their own.
+func (s *Solver) NodeSlots() *matfree.SlotMap { return s.nodeSM }
+
+// Assemble builds the Stokes system in one shot (collective): Setup for
+// the mesh-dependent half followed by Update for the given viscosity and
+// force. Time loops that solve repeatedly on one mesh should call Setup
+// once and Update per solve instead.
+//
+// etaElem gives the constant viscosity of each local element. force gives
+// the body-force vector at each element corner (e.g. Ra*T*e_r). bc
+// prescribes the velocity Dirichlet conditions.
+func Assemble(m *mesh.Mesh, dom fem.Domain, etaElem []float64, force [][8][3]float64, bc VelBC, opts Options) *Solver {
+	return Setup(m, dom, bc, opts).Update(etaElem, force)
+}
+
 // Precond returns the block-diagonal preconditioner operator P^-1.
-func (s *System) Precond() krylov.Operator {
+func (s *Solver) Precond() krylov.Operator {
 	return krylov.OpFunc(func(x, y *la.Vec) {
 		n := s.nOwned
 		// Velocity components: one multigrid V-cycle each (AMG or GMG).
@@ -377,13 +512,13 @@ func (s *System) Precond() krylov.Operator {
 
 // Solve runs preconditioned MINRES from the initial guess in x, using
 // the assembled or matrix-free operator per Options.MatrixFree.
-func (s *System) Solve(x *la.Vec, rtol float64, maxIt int) krylov.Result {
+func (s *Solver) Solve(x *la.Vec, rtol float64, maxIt int) krylov.Result {
 	return krylov.MINRES(s.Op, s.Precond(), s.B, x, rtol, maxIt)
 }
 
 // SplitSolution extracts nodal velocity components and pressure from the
 // interleaved solution vector (node layout vectors).
-func (s *System) SplitSolution(x *la.Vec) (u [3]*la.Vec, p *la.Vec) {
+func (s *Solver) SplitSolution(x *la.Vec) (u [3]*la.Vec, p *la.Vec) {
 	nodeL := s.M.Layout()
 	for c := 0; c < 3; c++ {
 		u[c] = la.NewVec(nodeL)
@@ -401,7 +536,7 @@ func (s *System) SplitSolution(x *la.Vec) (u [3]*la.Vec, p *la.Vec) {
 // DivergenceNorm returns the global L2 norm of the discrete divergence
 // residual B u (pressure rows of A x without stabilization and pressure
 // coupling give an indication; here we recompute element-wise).
-func (s *System) DivergenceNorm(x *la.Vec) float64 {
+func (s *Solver) DivergenceNorm(x *la.Vec) float64 {
 	// Gather velocity at referenced nodes.
 	u, _ := s.SplitSolution(x)
 	var maps [3]map[int64]float64
