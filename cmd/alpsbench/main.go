@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 2,5,6,7,8,9,10,sec6,12,sec7,matfree,gmg,timeloop or all")
+	fig := flag.String("fig", "all", "which experiment: 2,5,6,7,8,9,10,sec6,12,sec7,matfree,gmg,timeloop,shell or all")
 	scaleFlag := flag.String("scale", "small", "small or full")
 	flag.Parse()
 
@@ -62,6 +62,10 @@ func main() {
 	})
 	run("timeloop", func() {
 		t, _ := experiments.FigTimeLoop(scale)
+		t.Print(w)
+	})
+	run("shell", func() {
+		t, _ := experiments.FigShell(scale)
 		t.Print(w)
 	})
 	fmt.Fprintln(w)

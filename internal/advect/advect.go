@@ -16,7 +16,6 @@ import (
 	"rhea/internal/fem"
 	"rhea/internal/la"
 	"rhea/internal/mesh"
-	"rhea/internal/morton"
 	"rhea/internal/sim"
 )
 
@@ -37,6 +36,10 @@ type Problem struct {
 	lumpInv *la.Vec // inverse lumped mass (zero rows for Dirichlet nodes)
 	bcVal   *la.Vec // Dirichlet values at owned nodes (NaN elsewhere)
 	isBC    []bool
+	// geos holds the per-element isoparametric geometry on mapped
+	// (forest) meshes; nil on axis-aligned meshes, where the constant-h
+	// brick formulas apply.
+	geos []*fem.ElemGeom
 }
 
 // New prepares the transport problem: it assembles the lumped mass matrix
@@ -45,10 +48,15 @@ func New(m *mesh.Mesh, dom fem.Domain, kappa float64, vel [][8][3]float64, src f
 	p := &Problem{M: m, Dom: dom, Kappa: kappa, Vel: vel, Source: src, BC: bc}
 	p.layout = m.Layout()
 
+	p.geos = fem.ElemGeoms(m)
 	lb := la.NewVecBuilder(p.layout)
 	for ei, leaf := range m.Leaves {
-		h := dom.ElemSize(leaf)
-		lm := fem.LumpedMassBrick(h, 1)
+		var lm [8]float64
+		if p.geos != nil {
+			lm = fem.LumpedMassGeom(p.geos[ei], 1)
+		} else {
+			lm = fem.LumpedMassBrick(dom.ElemSize(leaf), 1)
+		}
 		cs := &m.Corners[ei]
 		for a := 0; a < 8; a++ {
 			for ia := 0; ia < int(cs[a].N); ia++ {
@@ -60,8 +68,8 @@ func New(m *mesh.Mesh, dom fem.Domain, kappa float64, vel [][8][3]float64, src f
 	p.lumpInv = la.NewVec(p.layout)
 	p.isBC = make([]bool, m.NumOwned)
 	p.bcVal = la.NewVec(p.layout)
-	for i, pos := range m.OwnedPos {
-		if v, is := bc(dom.Coord(pos)); is {
+	for i := range m.OwnedPos {
+		if v, is := bc(fem.NodeCoord(m, dom, i)); is {
 			p.isBC[i] = true
 			p.bcVal.Data[i] = v
 			p.lumpInv.Data[i] = 0 // dT/dt = 0 on the boundary
@@ -87,7 +95,6 @@ func (p *Problem) RateOfChange(T *la.Vec) *la.Vec {
 	vals := p.M.GatherReferenced(T)
 	rb := la.NewVecBuilder(p.layout)
 	for ei, leaf := range p.M.Leaves {
-		h := p.Dom.ElemSize(leaf)
 		cs := &p.M.Corners[ei]
 		var Tc [8]float64
 		for c := 0; c < 8; c++ {
@@ -101,10 +108,28 @@ func (p *Problem) RateOfChange(T *la.Vec) *la.Vec {
 				umax = n
 			}
 		}
-		tau := fem.SUPGTau(h, umax, p.Kappa)
-		K := fem.StiffnessBrick(h, p.Kappa)
-		G := fem.AdvectionBrick(h, u)
-		S := fem.SUPGBrick(h, u, tau)
+		var K, G, S [8][8]float64
+		var lm [8]float64
+		if p.geos != nil {
+			g := p.geos[ei]
+			hm := [3]float64{g.Hmin, g.Hmin, g.Hmin}
+			tau := fem.SUPGTau(hm, umax, p.Kappa)
+			K = fem.StiffnessGeom(g, p.Kappa)
+			G = fem.AdvectionGeom(g, u)
+			S = fem.SUPGGeom(g, u, tau)
+			if p.Source != nil {
+				lm = fem.LumpedMassGeom(g, 1)
+			}
+		} else {
+			h := p.Dom.ElemSize(leaf)
+			tau := fem.SUPGTau(h, umax, p.Kappa)
+			K = fem.StiffnessBrick(h, p.Kappa)
+			G = fem.AdvectionBrick(h, u)
+			S = fem.SUPGBrick(h, u, tau)
+			if p.Source != nil {
+				lm = fem.LumpedMassBrick(h, 1)
+			}
+		}
 
 		var R [8]float64
 		for a := 0; a < 8; a++ {
@@ -115,10 +140,9 @@ func (p *Problem) RateOfChange(T *la.Vec) *la.Vec {
 			R[a] = -s
 		}
 		if p.Source != nil {
-			lm := fem.LumpedMassBrick(h, 1)
+			xc := fem.ElemCornerCoords(p.M, p.Dom, ei)
 			for a := 0; a < 8; a++ {
-				pos := p.Dom.Coord(cornerPos(leaf, a))
-				R[a] += lm[a] * p.Source(pos)
+				R[a] += lm[a] * p.Source(xc[a])
 			}
 		}
 		for a := 0; a < 8; a++ {
@@ -137,8 +161,13 @@ func (p *Problem) RateOfChange(T *la.Vec) *la.Vec {
 func (p *Problem) StableDt(cfl float64) float64 {
 	local := math.Inf(1)
 	for ei, leaf := range p.M.Leaves {
-		h := p.Dom.ElemSize(leaf)
-		hm := math.Min(h[0], math.Min(h[1], h[2]))
+		var hm float64
+		if p.geos != nil {
+			hm = p.geos[ei].Hmin
+		} else {
+			h := p.Dom.ElemSize(leaf)
+			hm = math.Min(h[0], math.Min(h[1], h[2]))
+		}
 		u := &p.Vel[ei]
 		var umax float64
 		for c := 0; c < 8; c++ {
@@ -173,20 +202,4 @@ func (p *Problem) Step(T *la.Vec, dt float64) {
 	T.AXPY(dt/2, k1)
 	T.AXPY(dt/2, k2)
 	p.ApplyBC(T)
-}
-
-// cornerPos mirrors the mesh corner convention.
-func cornerPos(o morton.Octant, c int) [3]uint32 {
-	h := o.Len()
-	p := [3]uint32{o.X, o.Y, o.Z}
-	if c&1 != 0 {
-		p[0] += h
-	}
-	if c&2 != 0 {
-		p[1] += h
-	}
-	if c&4 != 0 {
-		p[2] += h
-	}
-	return p
 }

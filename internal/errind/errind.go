@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"rhea/internal/fem"
+	"rhea/internal/forest"
 	"rhea/internal/la"
 	"rhea/internal/mesh"
 	"rhea/internal/octree"
@@ -80,6 +81,26 @@ type Options struct {
 // expected global element count lands within tol of target (collective).
 // eta is the per-local-element indicator.
 func MarkElements(t *octree.Tree, eta []float64, target int64, opts Options) Marks {
+	levels := make([]uint8, len(t.Leaves()))
+	for i, o := range t.Leaves() {
+		levels[i] = o.Level
+	}
+	return mark(t.Rank(), levels, t.NumGlobal(), t.CountCoarsenableFamilies, eta, target, opts)
+}
+
+// MarkForest is MarkElements for a forest of octrees: identical
+// threshold adjustment, with family counting delegated to the forest
+// (families never span trees).
+func MarkForest(f *forest.Forest, eta []float64, target int64, opts Options) Marks {
+	levels := make([]uint8, len(f.Leaves()))
+	for i, o := range f.Leaves() {
+		levels[i] = o.O.Level
+	}
+	return mark(f.Rank(), levels, f.NumGlobal(), f.CountCoarsenableFamilies, eta, target, opts)
+}
+
+// mark is the shared threshold-adjustment core over per-leaf levels.
+func mark(r *sim.Rank, levels []uint8, nGlobal int64, countFams func([]bool) int, eta []float64, target int64, opts Options) Marks {
 	if opts.Tol == 0 {
 		opts.Tol = 0.1
 	}
@@ -89,8 +110,6 @@ func MarkElements(t *octree.Tree, eta []float64, target int64, opts Options) Mar
 	if opts.MaxLevel == 0 {
 		opts.MaxLevel = 19
 	}
-	r := t.Rank()
-	leaves := t.Leaves()
 	var localMax float64
 	for _, e := range eta {
 		localMax = math.Max(localMax, e)
@@ -99,7 +118,6 @@ func MarkElements(t *octree.Tree, eta []float64, target int64, opts Options) Mar
 	if etaMax == 0 {
 		etaMax = 1
 	}
-	nGlobal := t.NumGlobal()
 
 	thetaR := 0.5 * etaMax
 	ratio := 0.25 // thetaC = ratio * thetaR
@@ -111,18 +129,18 @@ func MarkElements(t *octree.Tree, eta []float64, target int64, opts Options) Mar
 	for it := 1; it <= opts.MaxIter; it++ {
 		m.Rounds = it
 		thetaC := ratio * thetaR
-		m.Refine = make([]bool, len(leaves))
-		m.Coarsen = make([]bool, len(leaves))
+		m.Refine = make([]bool, len(levels))
+		m.Coarsen = make([]bool, len(levels))
 		var nRef int64
-		for i, o := range leaves {
-			if eta[i] > thetaR && o.Level < opts.MaxLevel {
+		for i, lvl := range levels {
+			if eta[i] > thetaR && lvl < opts.MaxLevel {
 				m.Refine[i] = true
 				nRef++
-			} else if eta[i] < thetaC && o.Level > opts.MinLevel {
+			} else if eta[i] < thetaC && lvl > opts.MinLevel {
 				m.Coarsen[i] = true
 			}
 		}
-		fams := int64(t.CountCoarsenableFamilies(m.Coarsen))
+		fams := int64(countFams(m.Coarsen))
 		gRef := r.AllreduceInt64(nRef)
 		gFam := r.AllreduceInt64(fams)
 		m.Expected = nGlobal + 7*gRef - 7*gFam

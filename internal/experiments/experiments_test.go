@@ -340,3 +340,30 @@ func TestTimeLoopReuse(t *testing.T) {
 		rebuild.BuildPerSolve(), reuse.BuildPerSolve(),
 		rebuild.BuildPerSolve()/reuse.BuildPerSolve())
 }
+
+// TestShellRankInvariant pins the shell-convection figure's contract:
+// the final Nusselt number and RMS velocity agree across every rank
+// count (the same global physics regardless of the partition), and the
+// solve stays well-conditioned on the curved multi-tree geometry.
+func TestShellRankInvariant(t *testing.T) {
+	skipIfShort(t)
+	tb, cases := FigShell(Small)
+	rs := rows(t, tb)
+	if len(cases) < 3 {
+		t.Fatalf("expected at least 3 rank counts, got %d", len(cases))
+	}
+	for i, c := range cases {
+		if c.Nu <= 1 || c.Vrms <= 0 {
+			t.Fatalf("ranks %d: unphysical diagnostics Nu=%v Vrms=%v", c.Ranks, c.Nu, c.Vrms)
+		}
+		if d := c.Nu - cases[0].Nu; d > 1e-5 || d < -1e-5 {
+			t.Errorf("ranks %d: Nu %v differs from 1-rank %v", c.Ranks, c.Nu, cases[0].Nu)
+		}
+		if d := c.Vrms - cases[0].Vrms; d > 1e-5 || d < -1e-5 {
+			t.Errorf("ranks %d: Vrms %v differs from 1-rank %v", c.Ranks, c.Vrms, cases[0].Vrms)
+		}
+		if it := atoi(t, rs[i][3]); it <= 0 || it > 1000 {
+			t.Errorf("ranks %d: suspicious MINRES iteration count %d", c.Ranks, it)
+		}
+	}
+}

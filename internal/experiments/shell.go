@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"rhea/internal/rhea"
+	"rhea/internal/sim"
+	"rhea/internal/stokes"
+)
+
+// ShellCase holds rank-0 measurements of one spherical-shell convection
+// run.
+type ShellCase struct {
+	Ranks    int
+	Elements int64
+	Nodes    int64
+	Iters    int     // final MINRES iteration count
+	Nu       float64 // final Nusselt number
+	Vrms     float64 // final RMS velocity
+	Wall     float64 // total wall clock (s)
+}
+
+// FigShell runs the paper's flagship scenario — Rayleigh–Bénard-style
+// mantle convection in a spherical shell on the 24-tree cubed-sphere
+// forest, radial gravity, mapped per-element Jacobians, fully
+// matrix-free Stokes with the GMG preconditioner — across rank counts.
+// The physics diagnostics must be rank-count independent (the table
+// repeats them per row so drift is visible); the iteration count shows
+// the solver is as robust on the curved multi-tree shell as on the unit
+// cube.
+func FigShell(scale Scale) (*Table, []ShellCase) {
+	ranks := []int{1, 2, 4}
+	base, maxLvl := uint8(1), uint8(3)
+	target := int64(400)
+	cycles := 1
+	if scale == Full {
+		ranks = []int{1, 2, 4, 8}
+		base, maxLvl = 2, 4
+		target = 3000
+		cycles = 2
+	}
+
+	var cases []ShellCase
+	for _, p := range ranks {
+		p := p
+		var c ShellCase
+		start := time.Now()
+		sim.Run(p, func(r *sim.Rank) {
+			cfg := rhea.Config{
+				Shell: true,
+				Ra:    1e4,
+				InitialTemp: func(x [3]float64) float64 {
+					rad := math.Sqrt(x[0]*x[0] + x[1]*x[1] + x[2]*x[2])
+					cond := (2 - rad) / rad
+					d2 := (x[0]-1.2)*(x[0]-1.2) + x[1]*x[1] + (x[2]-0.6)*(x[2]-0.6)
+					return cond + 0.3*math.Exp(-d2/0.05)
+				},
+				Visc:        rhea.TemperatureDependent(1, 1),
+				BaseLevel:   base,
+				MinLevel:    base,
+				MaxLevel:    maxLvl,
+				TargetElems: target,
+				AdaptEvery:  4,
+				Picard:      1,
+				InitAdapt:   1,
+				MinresTol:   1e-7,
+				MinresMax:   1500,
+				MatrixFree:  true,
+				Precond:     stokes.PrecondGMG,
+			}
+			s := rhea.New(r, cfg)
+			for i := 0; i < cycles; i++ {
+				s.RunCycle()
+			}
+			s.SolveStokes()
+			st := s.Mesh.GlobalStats() // collective
+			nu, vrms := s.Nusselt(), s.RMSVelocity()
+			if r.ID() == 0 {
+				c = ShellCase{
+					Ranks:    p,
+					Elements: st.Elements,
+					Nodes:    st.Nodes,
+					Iters:    s.LastMinres().Iterations,
+					Nu:       nu,
+					Vrms:     vrms,
+				}
+			}
+		})
+		c.Wall = time.Since(start).Seconds()
+		cases = append(cases, c)
+	}
+
+	t := &Table{
+		Title:  "spherical-shell convection: 24-tree cubed sphere, matfree+GMG, radial gravity",
+		Header: []string{"ranks", "elements", "nodes", "minres", "Nu", "Vrms", "wall s"},
+		Notes: []string{
+			"Nu and Vrms must be identical across rank counts (same global physics)",
+			"mapped per-element Jacobians; no fine-level matrix assembled anywhere",
+		},
+	}
+	for _, c := range cases {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", c.Ranks),
+			fmt.Sprintf("%d", c.Elements),
+			fmt.Sprintf("%d", c.Nodes),
+			fmt.Sprintf("%d", c.Iters),
+			fmt.Sprintf("%.6f", c.Nu),
+			fmt.Sprintf("%.6f", c.Vrms),
+			fmt.Sprintf("%.2f", c.Wall),
+		})
+	}
+	return t, cases
+}

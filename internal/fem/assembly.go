@@ -65,14 +65,15 @@ func GatherBC(m *mesh.Mesh, dom Domain, bc ScalarBC) *BCData {
 	return gatherBC(m, dom, bc)
 }
 
-// gatherBC evaluates bc at every owned node and distributes flags and
-// values to all referencing ranks (collective).
+// gatherBC evaluates bc at every owned node — at its mapped physical
+// coordinates on forest meshes — and distributes flags and values to all
+// referencing ranks (collective).
 func gatherBC(m *mesh.Mesh, dom Domain, bc ScalarBC) *BCData {
 	l := m.Layout()
 	flag := la.NewVec(l)
 	val := la.NewVec(l)
-	for i, pos := range m.OwnedPos {
-		if v, is := bc(dom.Coord(pos)); is {
+	for i := range m.OwnedPos {
+		if v, is := bc(NodeCoord(m, dom, i)); is {
 			flag.Data[i] = 1
 			val.Data[i] = v
 		}
@@ -163,14 +164,22 @@ func AssembleScalarWithBC(
 	return A, b, bcd
 }
 
-// UnitStiffnessKernels returns the unit-viscosity scalar stiffness brick
-// of every local element, aliased per octree level (element size depends
-// only on the level, so one [8][8] brick serves every element of that
-// size). Viscosity-refresh paths scale these cached kernels instead of
+// UnitStiffnessKernels returns the unit-viscosity scalar stiffness
+// matrix of every local element: for axis-aligned meshes one brick per
+// octree level (aliased — element size depends only on the level), for
+// mapped forest meshes one isoparametric matrix per element.
+// Viscosity-refresh paths scale these cached kernels instead of
 // re-running quadrature per element.
 func UnitStiffnessKernels(m *mesh.Mesh, dom Domain) []*[8][8]float64 {
-	byLevel := map[uint8]*[8][8]float64{}
 	kern := make([]*[8][8]float64, len(m.Leaves))
+	if g := ElemGeoms(m); g != nil {
+		for ei := range m.Leaves {
+			K := StiffnessGeom(g[ei], 1)
+			kern[ei] = &K
+		}
+		return kern
+	}
+	byLevel := map[uint8]*[8][8]float64{}
 	for ei, leaf := range m.Leaves {
 		k, ok := byLevel[leaf.Level]
 		if !ok {

@@ -54,9 +54,10 @@ func findContaining(leaves []morton.Octant, o morton.Octant) int {
 }
 
 // NewTransfer builds the transfer stencils from the coarse mesh to the
-// fine mesh (collective). Both meshes must come from trees with identical
-// per-rank curve coverage — true by construction for octree.CoarsenedCopy
-// — so the coarse element containing a fine owned node is always local.
+// fine mesh (collective). Both meshes must come from trees (or forests)
+// with identical per-rank curve coverage — true by construction for
+// octree.CoarsenedCopy and forest.CoarsenedCopy — so the coarse element
+// containing a fine owned node is always local.
 func NewTransfer(fine, coarse *mesh.Mesh) *Transfer {
 	t := &Transfer{coarseL: coarse.Layout(), nCoarse: coarse.NumOwned}
 
@@ -69,19 +70,33 @@ func NewTransfer(fine, coarse *mesh.Mesh) *Transfer {
 	ghostSet := map[int64]struct{}{}
 	acc := map[int64]float64{}
 	for i, P := range fine.OwnedPos {
-		// The finest-level cell in the most-positive direction from P
-		// (clamped at the domain boundary) determines P's owner rank, so
-		// its containing coarse leaf is local (identical curve coverage).
-		var q [3]uint32
-		for a := 0; a < 3; a++ {
-			q[a] = P[a]
-			if q[a] >= morton.RootLen {
-				q[a] = morton.RootLen - 1
+		var ci int
+		if fine.Trees != nil {
+			// Forest mesh: the extraction recorded, per owned node, the
+			// incident finest cell that determined ownership and the
+			// node's position in that cell's tree frame; the coarse leaf
+			// containing that cell is local (identical curve coverage).
+			cell := fine.OwnedCell[i]
+			P = fine.OwnedCellPos[i]
+			ci = coarse.FindLocalElement(cell.Tree, cell.O)
+			if ci < 0 {
+				panic(fmt.Sprintf("fem: fine node %v (tree %d) has no local coarse element (meshes not coverage-aligned?)", P, cell.Tree))
 			}
-		}
-		ci := findContaining(coarse.Leaves, morton.Octant{X: q[0], Y: q[1], Z: q[2], Level: morton.MaxLevel})
-		if ci < 0 {
-			panic(fmt.Sprintf("fem: fine node %v has no local coarse element (meshes not coverage-aligned?)", P))
+		} else {
+			// The finest-level cell in the most-positive direction from P
+			// (clamped at the domain boundary) determines P's owner rank,
+			// so its containing coarse leaf is local.
+			var q [3]uint32
+			for a := 0; a < 3; a++ {
+				q[a] = P[a]
+				if q[a] >= morton.RootLen {
+					q[a] = morton.RootLen - 1
+				}
+			}
+			ci = findContaining(coarse.Leaves, morton.Octant{X: q[0], Y: q[1], Z: q[2], Level: morton.MaxLevel})
+			if ci < 0 {
+				panic(fmt.Sprintf("fem: fine node %v has no local coarse element (meshes not coverage-aligned?)", P))
+			}
 		}
 		leaf := coarse.Leaves[ci]
 		L := float64(leaf.Len())

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"rhea/internal/fem"
+	"rhea/internal/forest"
 	"rhea/internal/la"
 	"rhea/internal/mesh"
 	"rhea/internal/morton"
@@ -125,6 +126,35 @@ func ProjectData(oldLeaves, newLeaves []morton.Octant, data ElemData) ElemData {
 		default:
 			panic(fmt.Sprintf("field: leaf sets misaligned: old %v vs new %v", ol, nl))
 		}
+	}
+	return out
+}
+
+// ProjectForestData is ProjectData for forest leaf sets: the tree-major
+// leaf order means each tree's segment can be projected independently
+// with the single-tree routine. Purely local.
+func ProjectForestData(oldLeaves, newLeaves []forest.Octant, data ElemData) ElemData {
+	out := make(ElemData, 0, len(newLeaves))
+	oi, ni := 0, 0
+	for oi < len(oldLeaves) || ni < len(newLeaves) {
+		if oi >= len(oldLeaves) || ni >= len(newLeaves) {
+			panic("field: forest leaf sets cover different trees")
+		}
+		tree := oldLeaves[oi].Tree
+		if newLeaves[ni].Tree != tree {
+			panic(fmt.Sprintf("field: forest leaf sets misaligned: old tree %d vs new tree %d",
+				tree, newLeaves[ni].Tree))
+		}
+		oe, ne := oi, ni
+		var oldSeg, newSeg []morton.Octant
+		for ; oe < len(oldLeaves) && oldLeaves[oe].Tree == tree; oe++ {
+			oldSeg = append(oldSeg, oldLeaves[oe].O)
+		}
+		for ; ne < len(newLeaves) && newLeaves[ne].Tree == tree; ne++ {
+			newSeg = append(newSeg, newLeaves[ne].O)
+		}
+		out = append(out, ProjectData(oldSeg, newSeg, data[oi:oe])...)
+		oi, ni = oe, ne
 	}
 	return out
 }

@@ -65,6 +65,19 @@ func New(r *sim.Rank, conn *Connectivity, level uint8) *Forest {
 	return f
 }
 
+// FromLeaves builds a forest partition directly from a rank's local
+// leaves (collective: it exchanges the partition markers). The leaves
+// must be sorted along the forest curve and globally tile the domain —
+// true for any slice recovered from another Forest's or an extracted
+// mesh's leaves. Solver layers that only hold a mesh use this to derive
+// coarser multigrid levels.
+func FromLeaves(r *sim.Rank, conn *Connectivity, leaves []Octant) *Forest {
+	f := &Forest{Conn: conn, rank: r}
+	f.leaves = append([]Octant(nil), leaves...)
+	f.updateStarts()
+	return f
+}
+
 func shareRange(total, p, i int64) (lo, hi int64) {
 	q, rem := total/p, total%p
 	lo = q*i + minI64(i, rem)
@@ -239,9 +252,13 @@ func (f *Forest) Coarsen(should func(parent Octant) bool) int {
 	return n
 }
 
-// Balance enforces the 2:1 condition: the full face+edge+corner condition
-// within each tree and the face condition across tree boundaries
-// (collective). It returns the number of leaves added.
+// Balance enforces the full face+edge+corner 2:1 condition, within each
+// tree and across tree boundaries (following face-connection transforms,
+// including the two- and three-hop compositions that reach neighbors
+// across tree edges and corners), collectively. The full inter-tree
+// condition is what makes conforming mesh extraction sound: every master
+// of a hanging node is itself independent, even when the hanging face
+// lies on a tree boundary. It returns the number of leaves added.
 func (f *Forest) Balance() int {
 	set := make(map[Octant]struct{}, len(f.leaves))
 	for _, o := range f.leaves {
@@ -249,7 +266,6 @@ func (f *Forest) Balance() int {
 	}
 	before := len(f.leaves)
 	pending := append([]Octant(nil), f.leaves...)
-	var nbuf []morton.Octant
 
 	for {
 		var remote []Octant
@@ -262,21 +278,10 @@ func (f *Forest) Balance() int {
 			if o.O.Level <= 1 {
 				continue
 			}
-			// Within-tree: full 26-neighbor requirements.
-			nbuf = o.O.AllNeighbors(nbuf[:0])
-			for _, n := range nbuf {
-				fn := Octant{Tree: o.Tree, O: n}
-				pending = f.enforce(set, fn, o.O.Level, pending)
-				if !f.fullyLocal(fn) {
-					remote = append(remote, fn)
-				}
-			}
-			// Across-tree: face neighbors that leave the tree.
-			for face := 0; face < 6; face++ {
-				if _, inside := o.O.FaceNeighbor(face); inside {
-					continue
-				}
-				fn, ok := f.FaceNeighbor(o, face)
+			// All 26 neighbor directions, within the tree and across
+			// tree boundaries alike.
+			for _, d := range Dirs26 {
+				fn, ok := f.Neighbor(o, d)
 				if !ok {
 					continue
 				}

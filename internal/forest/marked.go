@@ -1,0 +1,82 @@
+package forest
+
+import "rhea/internal/morton"
+
+// RefineMarked replaces each local leaf whose mark is set by its eight
+// children (marks is indexed like Leaves). It returns the number of
+// leaves refined. Purely local.
+func (f *Forest) RefineMarked(marks []bool) int {
+	out := make([]Octant, 0, len(f.leaves))
+	n := 0
+	for i, o := range f.leaves {
+		if marks[i] && o.O.Level < morton.MaxLevel {
+			for c := 0; c < 8; c++ {
+				out = append(out, Octant{Tree: o.Tree, O: o.O.Child(c)})
+			}
+			n++
+		} else {
+			out = append(out, o)
+		}
+	}
+	f.leaves = out
+	f.updateStarts()
+	return n
+}
+
+// CoarsenMarked replaces every complete local family of eight siblings,
+// all of whose marks are set, by their parent. It returns the number of
+// families coarsened. Purely local.
+func (f *Forest) CoarsenMarked(marks []bool) int {
+	out := make([]Octant, 0, len(f.leaves))
+	n := 0
+	for i := 0; i < len(f.leaves); {
+		o := f.leaves[i]
+		if o.O.Level > 0 && o.O.ChildID() == 0 && i+8 <= len(f.leaves) {
+			parent := Octant{Tree: o.Tree, O: o.O.Parent()}
+			ok := true
+			for j := 0; j < 8; j++ {
+				if f.leaves[i+j].Tree != o.Tree || f.leaves[i+j].O != parent.O.Child(j) || !marks[i+j] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, parent)
+				i += 8
+				n++
+				continue
+			}
+		}
+		out = append(out, o)
+		i++
+	}
+	f.leaves = out
+	f.updateStarts()
+	return n
+}
+
+// CountCoarsenableFamilies returns how many complete local families have
+// all eight marks set, without modifying the forest.
+func (f *Forest) CountCoarsenableFamilies(marks []bool) int {
+	n := 0
+	for i := 0; i+8 <= len(f.leaves); {
+		o := f.leaves[i]
+		if o.O.Level > 0 && o.O.ChildID() == 0 {
+			parent := Octant{Tree: o.Tree, O: o.O.Parent()}
+			ok := true
+			for j := 0; j < 8; j++ {
+				if f.leaves[i+j].Tree != o.Tree || f.leaves[i+j].O != parent.O.Child(j) || !marks[i+j] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				n++
+				i += 8
+				continue
+			}
+		}
+		i++
+	}
+	return n
+}

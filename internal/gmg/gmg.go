@@ -30,6 +30,7 @@ package gmg
 import (
 	"rhea/internal/amg"
 	"rhea/internal/fem"
+	"rhea/internal/forest"
 	"rhea/internal/krylov"
 	"rhea/internal/la"
 	"rhea/internal/matfree"
@@ -140,42 +141,89 @@ type Hierarchy struct {
 }
 
 // NewHierarchy derives the mesh-dependent coarse level stack from the
-// extracted fine mesh (collective): repeated octree CoarsenedCopy + mesh
-// extraction until the global element count falls to Options.CoarseElems,
-// the level cap is hit, or coarsening stops making progress under the
-// partition. No viscosity is attached yet — call Rebuild (or use New)
-// before applying any preconditioner built from it.
+// extracted fine mesh (collective): repeated CoarsenedCopy (octree or
+// forest, matching the mesh's origin) + mesh extraction until the global
+// element count falls to Options.CoarseElems, the level cap is hit, or
+// coarsening stops making progress under the partition. No viscosity is
+// attached yet — call Rebuild (or use New) before applying any
+// preconditioner built from it.
 func NewHierarchy(m *mesh.Mesh, dom fem.Domain, opts Options) *Hierarchy {
 	o := opts.withDefaults()
 	h := &Hierarchy{dom: dom, opts: o}
 	h.levels = append(h.levels, newLevel(m, dom))
-	tree := octree.FromLeaves(m.Rank, m.Leaves)
-	h.elems = append(h.elems, tree.NumGlobal())
+
+	coarsen := coarsenerFor(m)
+	h.elems = append(h.elems, m.Rank.AllreduceInt64(int64(len(m.Leaves))))
 
 	for len(h.levels) < o.MaxLevels && h.elems[len(h.elems)-1] > o.CoarseElems {
-		ctree, merged := tree.CoarsenedCopy()
-		ce := ctree.NumGlobal()
+		cm, merged := coarsen()
+		if merged == 0 {
+			break
+		}
+		ce := cm.Rank.AllreduceInt64(int64(len(cm.Leaves)))
 		// Stop when coarsening makes no progress: no family merged, or
 		// balance re-split everything (rank-boundary families never merge,
 		// so the count can stall above CoarseElems).
-		if merged == 0 || ce >= h.elems[len(h.elems)-1] {
+		if ce >= h.elems[len(h.elems)-1] {
 			break
 		}
 		fine := h.levels[len(h.levels)-1]
-		cm := mesh.Extract(ctree)
 		h.trans = append(h.trans, fem.NewTransfer(fine.mesh, cm))
 		// Fine-to-coarse element containment map, used by every Rebuild
 		// to restrict the viscosity without re-searching the Morton order.
 		ci := make([]int32, len(fine.mesh.Leaves))
 		for ei, leaf := range fine.mesh.Leaves {
-			ci[ei] = int32(findLeaf(cm, leaf))
+			ci[ei] = int32(findLeafIn(cm, treeOf(fine.mesh, ei), leaf))
 		}
 		h.restr = append(h.restr, ci)
 		h.levels = append(h.levels, newLevel(cm, dom))
 		h.elems = append(h.elems, ce)
-		tree = ctree
 	}
 	return h
+}
+
+// coarsenerFor returns a closure producing successively coarser meshes:
+// octree CoarsenedCopy for single-tree meshes, forest CoarsenedCopy (with
+// the mesh's geometry carried down the levels) for forest meshes. The
+// second return of each call is the number of families merged globally.
+func coarsenerFor(m *mesh.Mesh) func() (*mesh.Mesh, int64) {
+	if m.Conn != nil {
+		fr := forest.FromLeaves(m.Rank, m.Conn, forestLeaves(m))
+		return func() (*mesh.Mesh, int64) {
+			cfr, merged := fr.CoarsenedCopy()
+			if merged == 0 {
+				return nil, 0
+			}
+			fr = cfr
+			return mesh.ExtractForest(cfr, m.Geom), merged
+		}
+	}
+	tree := octree.FromLeaves(m.Rank, m.Leaves)
+	return func() (*mesh.Mesh, int64) {
+		ctree, merged := tree.CoarsenedCopy()
+		if merged == 0 {
+			return nil, 0
+		}
+		tree = ctree
+		return mesh.Extract(ctree), merged
+	}
+}
+
+// forestLeaves reassembles the forest octants of a forest mesh.
+func forestLeaves(m *mesh.Mesh) []forest.Octant {
+	out := make([]forest.Octant, len(m.Leaves))
+	for i, o := range m.Leaves {
+		out[i] = forest.Octant{Tree: m.Trees[i], O: o}
+	}
+	return out
+}
+
+// treeOf returns the tree id of element ei (0 on single-tree meshes).
+func treeOf(m *mesh.Mesh, ei int) int32 {
+	if m.Trees == nil {
+		return 0
+	}
+	return m.Trees[ei]
 }
 
 // New builds the hierarchy and attaches the fine per-element viscosity in

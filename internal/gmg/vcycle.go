@@ -11,15 +11,14 @@ import (
 	"rhea/internal/morton"
 )
 
-// findLeaf returns the index of the local leaf of m that is o or an
-// ancestor of o; it panics if none exists (hierarchy invariant broken).
-func findLeaf(m *mesh.Mesh, o morton.Octant) int {
-	k := o.Key()
-	i := sort.Search(len(m.Leaves), func(i int) bool { return m.Leaves[i].Key() > k })
-	if i > 0 && m.Leaves[i-1].ContainsOrEqual(o) {
-		return i - 1
+// findLeafIn returns the index of the local leaf of m (in tree `tree`)
+// that is o or an ancestor of o; it panics if none exists (hierarchy
+// invariant broken).
+func findLeafIn(m *mesh.Mesh, tree int32, o morton.Octant) int {
+	if i := m.FindLocalElement(tree, o); i >= 0 {
+		return i
 	}
-	panic(fmt.Sprintf("gmg: no local coarse leaf contains %v", o))
+	panic(fmt.Sprintf("gmg: no local coarse leaf contains %v (tree %d)", o, tree))
 }
 
 // levelOp is the matrix-free constrained scalar stiffness operator of one

@@ -72,17 +72,11 @@ type Operator struct {
 func New(m *mesh.Mesh, dom fem.Domain, layout *la.Layout, etaElem []float64, bc DofBC, opts Options) *Operator {
 	op := &Operator{m: m, layout: layout, eta: etaElem, nOwned: m.NumOwned}
 
-	// Per-level kernel cache: element size depends only on the level.
-	byLevel := map[uint8]*fem.StokesKernels{}
-	op.kern = make([]*fem.StokesKernels, len(m.Leaves))
-	for ei, leaf := range m.Leaves {
-		k, ok := byLevel[leaf.Level]
-		if !ok {
-			k = fem.NewStokesKernels(dom.ElemSize(leaf))
-			byLevel[leaf.Level] = k
-		}
-		op.kern[ei] = k
-	}
+	// Per-element kernels: aliased per octree level on axis-aligned
+	// meshes, one isoparametric kernel per element on mapped (forest)
+	// meshes — the same provider the assembled path scales, so the two
+	// operators agree to rounding on curved geometry too.
+	op.kern = fem.StokesKernelsFor(m, dom)
 
 	// Compact slot numbering: owned nodes at gid-Offset, ghosts after.
 	sm := NewSlotMap(m, 4)

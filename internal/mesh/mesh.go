@@ -26,6 +26,7 @@ import (
 	"math/bits"
 	"sort"
 
+	"rhea/internal/forest"
 	"rhea/internal/la"
 	"rhea/internal/morton"
 	"rhea/internal/octree"
@@ -59,11 +60,41 @@ type Mesh struct {
 	NGlobal  int64
 
 	// OwnedPos gives the position of each owned node, indexed by
-	// gid-Offset (sorted by position key).
+	// gid-Offset (sorted by position key; for forest meshes the position
+	// is in the frame of the node's canonical tree, OwnedTree).
 	OwnedPos [][3]uint32
+
+	// Multi-tree (forest) extraction extras; nil for single-tree meshes
+	// built by Extract.
+	Trees     []int32              // per-element tree id, aligned with Leaves
+	Conn      *forest.Connectivity // forest macro-mesh
+	Geom      Geometry             // node mapping (nil => axis-aligned fem.Domain scaling)
+	X         [][8][3]float64      // per-element physical corner coordinates (when Geom != nil)
+	OwnedX    [][3]float64         // physical coordinates of owned nodes (when Geom != nil)
+	OwnedTree []int32              // canonical tree of each owned node
+	// OwnedCell and OwnedCellPos record, per owned node, the incident
+	// finest-level cell that determined its ownership and the node's
+	// position in that cell's tree frame — the representation multigrid
+	// transfer uses to find the (always local) coarse containing element.
+	OwnedCell    []forest.Octant
+	OwnedCellPos [][3]uint32
+
+	// GeomCache holds the discretization layer's per-element quadrature
+	// geometry for mapped meshes (set on first use by fem.ElemGeoms and
+	// shared by matfree, gmg, stokes and advect so the Jacobian
+	// inversions run once per mesh, not once per consumer). Typed any to
+	// avoid an upward dependency on the fem package; per-rank meshes are
+	// confined to their rank's goroutine, matching every other cache on
+	// this struct.
+	GeomCache any
 
 	posToLocal map[uint64]int32 // owned position key -> local node index
 	gidCache   map[uint64]int64 // referenced position key -> global id (incl. remote)
+
+	// Forest-mesh counterparts of posToLocal/gidCache, keyed by the
+	// canonical (tree, position) of each node.
+	posToLocalT map[nodeKey]int32
+	gidCacheT   map[nodeKey]int64
 
 	// Ghost exchange plan over referenced global ids: used to gather
 	// remote nodal values (field transfer, viscosity evaluation, output).

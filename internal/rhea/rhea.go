@@ -24,6 +24,7 @@ import (
 	"rhea/internal/errind"
 	"rhea/internal/fem"
 	"rhea/internal/field"
+	"rhea/internal/forest"
 	"rhea/internal/gmg"
 	"rhea/internal/krylov"
 	"rhea/internal/la"
@@ -82,6 +83,22 @@ type Config struct {
 	ViscMin      float64 // clamp (default 1e-6)
 	ViscMax      float64 // clamp (default 1e6)
 
+	// Conn switches the simulation from the single-tree axis-aligned box
+	// onto a multi-tree forest with mapped element geometry: brick macro
+	// meshes, or the paper's 24-tree cubed-sphere shell. Geom supplies
+	// the node mapping (defaults to the trilinear tree map, or the shell
+	// projection when Shell is set).
+	Conn *forest.Connectivity
+	Geom mesh.Geometry
+	// Shell selects spherical-shell physics on a cubed-sphere forest:
+	// radial gravity Ra*T*r_hat, radius-based depth for the viscosity
+	// law, T=1 on the inner and T=0 on the outer boundary, and no-slip
+	// velocity on both shell boundaries by default (true free-slip needs
+	// rotated per-node boundary frames — a roadmap item). Leaving Conn
+	// nil with Shell set picks the paper's forest.CubedSphere(2).
+	Shell          bool
+	RInner, ROuter float64 // shell radii (default 1 and 2)
+
 	BaseLevel   uint8 // initial uniform refinement
 	MinLevel    uint8
 	MaxLevel    uint8
@@ -122,6 +139,38 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Shell {
+		if c.RInner == 0 {
+			c.RInner = 1
+		}
+		if c.ROuter == 0 {
+			c.ROuter = 2
+		}
+		if c.Conn == nil {
+			c.Conn = forest.CubedSphere(2)
+		}
+		if c.Geom == nil {
+			c.Geom = mesh.ShellGeometry{Conn: c.Conn, RInner: c.RInner, ROuter: c.ROuter}
+		}
+		if c.VelBC == nil {
+			c.VelBC = stokes.RadialNoSlip(c.RInner, c.ROuter)
+		}
+	}
+	if c.Conn != nil && c.Geom == nil {
+		c.Geom = mesh.TrilinearGeometry{Conn: c.Conn}
+	}
+	if c.Conn != nil && !c.Shell {
+		// Mapped non-shell domains: the box-equality FreeSlip default
+		// cannot detect a mapped boundary, and Dom.Box is still used for
+		// the depth coordinate and Nusselt normalization — fail fast and
+		// keep those finite instead of silently dividing by zero.
+		if c.VelBC == nil {
+			panic("rhea: Config.Conn without Shell needs an explicit VelBC (box-equality defaults cannot see mapped boundaries)")
+		}
+		if c.Dom.Box == [3]float64{} {
+			c.Dom = fem.UnitDomain
+		}
+	}
 	if c.ViscMin == 0 {
 		c.ViscMin = 1e-6
 	}
@@ -153,7 +202,11 @@ func (c Config) withDefaults() Config {
 		c.VelBC = stokes.FreeSlip(c.Dom.Box)
 	}
 	if c.TargetElems == 0 {
-		c.TargetElems = 1 << (3 * c.BaseLevel)
+		trees := int64(1)
+		if c.Conn != nil {
+			trees = int64(c.Conn.NumTrees())
+		}
+		c.TargetElems = trees << (3 * c.BaseLevel)
 	}
 	return c
 }
@@ -212,12 +265,15 @@ type AdaptStats struct {
 	LevelCounts  []int64
 }
 
-// Sim is a running mantle-convection simulation on one rank.
+// Sim is a running mantle-convection simulation on one rank. Exactly one
+// of Tree (single-tree box domains) and Forest (multi-tree mapped
+// domains, Config.Conn) is non-nil.
 type Sim struct {
-	Cfg  Config
-	Rank *sim.Rank
-	Tree *octree.Tree
-	Mesh *mesh.Mesh
+	Cfg    Config
+	Rank   *sim.Rank
+	Tree   *octree.Tree
+	Forest *forest.Forest
+	Mesh   *mesh.Mesh
 
 	T *la.Vec    // temperature (nodal)
 	U [3]*la.Vec // velocity components (nodal)
@@ -279,7 +335,11 @@ func New(r *sim.Rank, cfg Config) *Sim {
 	s := &Sim{Cfg: cfg, Rank: r}
 
 	t0 := time.Now()
-	s.Tree = octree.New(r, cfg.BaseLevel)
+	if cfg.Conn != nil {
+		s.Forest = forest.New(r, cfg.Conn, cfg.BaseLevel)
+	} else {
+		s.Tree = octree.New(r, cfg.BaseLevel)
+	}
 	s.Times.NewTree += time.Since(t0).Seconds()
 
 	s.extract()
@@ -295,7 +355,11 @@ func New(r *sim.Rank, cfg Config) *Sim {
 
 func (s *Sim) extract() {
 	t0 := time.Now()
-	s.Mesh = mesh.Extract(s.Tree)
+	if s.Forest != nil {
+		s.Mesh = mesh.ExtractForest(s.Forest, s.Cfg.Geom)
+	} else {
+		s.Mesh = mesh.Extract(s.Tree)
+	}
 	s.Times.ExtractMesh += time.Since(t0).Seconds()
 	// Velocity and pressure default to zero on the new mesh, and the
 	// cached Stokes solver is bound to the old mesh — drop it.
@@ -309,14 +373,29 @@ func (s *Sim) extract() {
 
 func (s *Sim) setInitialTemp() {
 	s.T = la.NewVec(s.Mesh.Layout())
-	for i, pos := range s.Mesh.OwnedPos {
-		s.T.Data[i] = s.Cfg.InitialTemp(s.Cfg.Dom.Coord(pos))
+	for i := range s.Mesh.OwnedPos {
+		s.T.Data[i] = s.Cfg.InitialTemp(fem.NodeCoord(s.Mesh, s.Cfg.Dom, i))
 	}
 }
 
-// TempBC returns the temperature boundary condition: T=1 at the bottom,
-// T=0 at the surface, insulated sides.
+// TempBC returns the temperature boundary condition: T=1 at the bottom
+// (the inner shell boundary on spherical domains), T=0 at the surface
+// (outer shell), insulated sides.
 func (s *Sim) TempBC() fem.ScalarBC {
+	if s.Cfg.Shell {
+		rin, rout := s.Cfg.RInner, s.Cfg.ROuter
+		tol := 1e-9 * rout
+		return func(x [3]float64) (float64, bool) {
+			r := math.Sqrt(x[0]*x[0] + x[1]*x[1] + x[2]*x[2])
+			if math.Abs(r-rin) < tol {
+				return 1, true
+			}
+			if math.Abs(r-rout) < tol {
+				return 0, true
+			}
+			return 0, false
+		}
+	}
 	top := s.Cfg.Dom.Box[2]
 	return func(x [3]float64) (float64, bool) {
 		if x[2] == 0 {
@@ -332,6 +411,9 @@ func (s *Sim) TempBC() fem.ScalarBC {
 // Adapt runs one full mesh adaptation pipeline and carries the
 // temperature and velocity fields to the new mesh (collective).
 func (s *Sim) Adapt() AdaptStats {
+	if s.Forest != nil {
+		return s.adaptForest()
+	}
 	st := AdaptStats{ElementsPrev: s.Tree.NumGlobal()}
 
 	t0 := time.Now()
@@ -401,18 +483,7 @@ func (s *Sim) Adapt() AdaptStats {
 	s.extract()
 
 	t0 = time.Now()
-	s.T = field.ToNodal(s.Mesh, dataT)
-	for c := 0; c < 3; c++ {
-		s.U[c] = field.ToNodal(s.Mesh, dataU[c])
-	}
-	s.P = field.ToNodal(s.Mesh, dataP)
-	// Re-impose temperature boundary values after projection.
-	bc := s.TempBC()
-	for i, pos := range s.Mesh.OwnedPos {
-		if v, is := bc(s.Cfg.Dom.Coord(pos)); is {
-			s.T.Data[i] = v
-		}
-	}
+	s.fieldsToNodal(dataT, dataU, dataP)
 	s.Times.InterpolateFld += time.Since(t0).Seconds()
 
 	st.Refined = s.Rank.AllreduceInt64(int64(nRef))
@@ -421,6 +492,106 @@ func (s *Sim) Adapt() AdaptStats {
 	st.ElementsNow = s.Tree.NumGlobal()
 	st.Unchanged = st.ElementsPrev - st.Refined - st.Coarsened
 	st.LevelCounts = s.Tree.LevelCounts()
+	return st
+}
+
+// fieldsToNodal converts the projected element-corner fields to nodal
+// vectors on the freshly extracted mesh and re-imposes the temperature
+// boundary values (collective).
+func (s *Sim) fieldsToNodal(dataT field.ElemData, dataU [3]field.ElemData, dataP field.ElemData) {
+	s.T = field.ToNodal(s.Mesh, dataT)
+	for c := 0; c < 3; c++ {
+		s.U[c] = field.ToNodal(s.Mesh, dataU[c])
+	}
+	s.P = field.ToNodal(s.Mesh, dataP)
+	bc := s.TempBC()
+	for i := range s.Mesh.OwnedPos {
+		if v, is := bc(fem.NodeCoord(s.Mesh, s.Cfg.Dom, i)); is {
+			s.T.Data[i] = v
+		}
+	}
+}
+
+// adaptForest is the forest-of-octrees adaptation pipeline: identical
+// stages to the single-tree path, with marking, coarsening/refinement,
+// the full inter-tree 2:1 balance, per-tree field projection and
+// curve partitioning running on the forest (collective).
+func (s *Sim) adaptForest() AdaptStats {
+	st := AdaptStats{ElementsPrev: s.Forest.NumGlobal()}
+
+	t0 := time.Now()
+	eta := errind.Variation(s.Mesh, s.T)
+	marks := errind.MarkForest(s.Forest, eta, s.Cfg.TargetElems, errind.Options{
+		MaxLevel: s.Cfg.MaxLevel, MinLevel: s.Cfg.MinLevel,
+	})
+	s.Times.MarkElements += time.Since(t0).Seconds()
+
+	// Snapshot fields as element data on the old mesh.
+	t0 = time.Now()
+	dataT := field.FromNodal(s.Mesh, s.T)
+	var dataU [3]field.ElemData
+	for c := 0; c < 3; c++ {
+		dataU[c] = field.FromNodal(s.Mesh, s.U[c])
+	}
+	dataP := field.FromNodal(s.Mesh, s.P)
+	oldLeaves := append([]forest.Octant(nil), s.Forest.Leaves()...)
+	s.Times.InterpolateFld += time.Since(t0).Seconds()
+
+	t0 = time.Now()
+	nCoarse := s.Forest.CoarsenMarked(marks.Coarsen)
+	// Rebuild refine marks on the post-coarsening layout by identity.
+	refSet := make(map[forest.Octant]struct{})
+	for i, m := range marks.Refine {
+		if m {
+			refSet[oldLeaves[i]] = struct{}{}
+		}
+	}
+	ref2 := make([]bool, s.Forest.NumLocal())
+	for i, o := range s.Forest.Leaves() {
+		if _, ok := refSet[o]; ok {
+			ref2[i] = true
+		}
+	}
+	nRef := s.Forest.RefineMarked(ref2)
+	s.Times.CoarsenRefine += time.Since(t0).Seconds()
+
+	t0 = time.Now()
+	added := s.Forest.Balance()
+	s.Times.BalanceTree += time.Since(t0).Seconds()
+
+	// Project fields onto the adapted (still old-partition) leaves.
+	t0 = time.Now()
+	dataT = field.ProjectForestData(oldLeaves, s.Forest.Leaves(), dataT)
+	for c := 0; c < 3; c++ {
+		dataU[c] = field.ProjectForestData(oldLeaves, s.Forest.Leaves(), dataU[c])
+	}
+	dataP = field.ProjectForestData(oldLeaves, s.Forest.Leaves(), dataP)
+	s.Times.InterpolateFld += time.Since(t0).Seconds()
+
+	t0 = time.Now()
+	dests := s.Forest.Partition()
+	s.Times.PartitionTree += time.Since(t0).Seconds()
+
+	t0 = time.Now()
+	dataT = field.Transfer(s.Rank, dests, dataT)
+	for c := 0; c < 3; c++ {
+		dataU[c] = field.Transfer(s.Rank, dests, dataU[c])
+	}
+	dataP = field.Transfer(s.Rank, dests, dataP)
+	s.Times.TransferFld += time.Since(t0).Seconds()
+
+	s.extract()
+
+	t0 = time.Now()
+	s.fieldsToNodal(dataT, dataU, dataP)
+	s.Times.InterpolateFld += time.Since(t0).Seconds()
+
+	st.Refined = s.Rank.AllreduceInt64(int64(nRef))
+	st.Coarsened = s.Rank.AllreduceInt64(int64(8 * nCoarse))
+	st.BalanceAdded = s.Rank.AllreduceInt64(int64(added))
+	st.ElementsNow = s.Forest.NumGlobal()
+	st.Unchanged = st.ElementsPrev - st.Refined - st.Coarsened
+	st.LevelCounts = s.Forest.LevelCounts()
 	return st
 }
 
@@ -434,10 +605,14 @@ func (s *Sim) ElementViscosity() []float64 {
 }
 
 // viscosityAndBuoyancy evaluates the per-element viscosity and (when
-// wantForce is set) the Ra*T*e_z body force at element corners in one
+// wantForce is set) the buoyancy body force at element corners in one
 // pass (collective): the temperature and velocity are gathered through
 // the cached slot map and each element's corners are resolved once. This
 // is the whole per-Picard-iteration field evaluation of the time loop.
+// On the box the force is Ra*T*e_z and depth comes from the z
+// coordinate; on the shell the force is Ra*T*r_hat and depth is the
+// radial coordinate (0 at the inner boundary, 1 at the outer); strain
+// rates use the center Jacobian on mapped meshes.
 func (s *Sim) viscosityAndBuoyancy(wantForce bool) ([]float64, [][8][3]float64) {
 	sm := s.slotMap()
 	bufs := s.gatherSlotsMulti(sm, s.T, s.U[0], s.U[1], s.U[2])
@@ -453,8 +628,23 @@ func (s *Sim) viscosityAndBuoyancy(wantForce bool) ([]float64, [][8][3]float64) 
 	for c := 0; c < 8; c++ {
 		sgc[c] = fem.ShapeGrad(c, xi)
 	}
+	geos := fem.ElemGeoms(s.Mesh) // nil on axis-aligned meshes
 	for ei, leaf := range s.Mesh.Leaves {
-		h := s.Cfg.Dom.ElemSize(leaf)
+		// Mid-point shape gradients: constant-h scaling or the cached
+		// mapped center Jacobian.
+		var sg [8][3]float64
+		var center [3]float64
+		if geos != nil {
+			sg = geos[ei].Gc
+			center = geos[ei].Center
+		} else {
+			h := s.Cfg.Dom.ElemSize(leaf)
+			for c := 0; c < 8; c++ {
+				for j := 0; j < 3; j++ {
+					sg[c][j] = sgc[c][j] / h[j]
+				}
+			}
+		}
 		var Tc float64
 		var grad [3][3]float64
 		for c := 0; c < 8; c++ {
@@ -465,16 +655,22 @@ func (s *Sim) viscosityAndBuoyancy(wantForce bool) ([]float64, [][8][3]float64) 
 			}
 			Tc += tv / 8
 			if wantForce {
-				force[ei][c] = [3]float64{0, 0, s.Cfg.Ra * tv}
+				if s.Cfg.Shell {
+					x := s.Mesh.X[ei][c]
+					rad := math.Sqrt(x[0]*x[0] + x[1]*x[1] + x[2]*x[2])
+					f := s.Cfg.Ra * tv / rad
+					force[ei][c] = [3]float64{f * x[0], f * x[1], f * x[2]}
+				} else {
+					force[ei][c] = [3]float64{0, 0, s.Cfg.Ra * tv}
+				}
 			}
-			sg := sgc[c]
 			for d := 0; d < 3; d++ {
 				var uv float64
 				for k := 0; k < int(co.N); k++ {
 					uv += co.W[k] * ub[d][co.Slot[k]]
 				}
 				for j := 0; j < 3; j++ {
-					grad[d][j] += uv * sg[j] / h[j]
+					grad[d][j] += uv * sg[c][j]
 				}
 			}
 		}
@@ -487,7 +683,16 @@ func (s *Sim) viscosityAndBuoyancy(wantForce bool) ([]float64, [][8][3]float64) 
 			}
 		}
 		e2 = math.Sqrt(0.5 * e2)
-		zc := s.Cfg.Dom.ElemCenter(leaf)[2] / s.Cfg.Dom.Box[2]
+		var zc float64
+		switch {
+		case s.Cfg.Shell:
+			rc := math.Sqrt(center[0]*center[0] + center[1]*center[1] + center[2]*center[2])
+			zc = (rc - s.Cfg.RInner) / (s.Cfg.ROuter - s.Cfg.RInner)
+		case geos != nil:
+			zc = center[2] / s.Cfg.Dom.Box[2]
+		default:
+			zc = s.Cfg.Dom.ElemCenter(leaf)[2] / s.Cfg.Dom.Box[2]
+		}
 		v := s.Cfg.Visc(Tc, zc, e2)
 		if v < s.Cfg.ViscMin {
 			v = s.Cfg.ViscMin
@@ -605,14 +810,25 @@ func (s *Sim) RunCycle() AdaptStats {
 	return s.Adapt()
 }
 
-// Nusselt returns the Nusselt number: the volume-averaged vertical heat
-// flux (advective u_z*T plus conductive -dT/dz) through the layer,
-// normalized by the conductive flux of the motionless state, evaluated
-// with midpoint quadrature per element (collective). The motionless
-// conductive profile gives exactly 1; vigorous convection pushes it up.
-// With the temperature scale ΔT = 1 and diffusivity κ = 1 used by the
-// transport step, Nu = ∫ (u_z T - dT/dz) dV / (Lx Ly).
+// Nusselt returns the Nusselt number: the volume-averaged heat flux along
+// the gravity direction (advective u.g_hat*T plus conductive -g_hat.grad
+// T), normalized by the conductive flux of the motionless state,
+// evaluated with midpoint quadrature per element (collective). The
+// motionless conductive profile gives exactly 1 in the continuum limit;
+// vigorous convection pushes it up.
+//
+// On the box (ΔT = 1, κ = 1): Nu = ∫ (u_z T - dT/dz) dV / (Lx Ly). On
+// the shell the flux direction is radial and the normalization is the
+// conductive profile T_c(r) = R1(R2-r)/(r(R2-R1)), whose flux density is
+// R1 R2 / (r^2 (R2-R1)):
+//
+//	Nu = ∫ (u_r T - dT/dr) dV / ∫ R1 R2 / (r^2 (R2-R1)) dV.
 func (s *Sim) Nusselt() float64 {
+	if s.Cfg.Shell {
+		return s.nusseltShell()
+	}
+	// Box: only u_z and dT/dz enter the flux, so gather exactly T and
+	// U[2].
 	sm := s.slotMap()
 	bufs := s.gatherSlotsMulti(sm, s.T, s.U[2])
 	tb, wb := bufs[0], bufs[1]
@@ -640,16 +856,67 @@ func (s *Sim) Nusselt() float64 {
 	return total / (s.Cfg.Dom.Box[0] * s.Cfg.Dom.Box[1])
 }
 
+// nusseltShell is the spherical branch of Nusselt: radial flux through
+// the cached center Jacobians of the mapped mesh.
+func (s *Sim) nusseltShell() float64 {
+	sm := s.slotMap()
+	bufs := s.gatherSlotsMulti(sm, s.T, s.U[0], s.U[1], s.U[2])
+	tb := bufs[0]
+	ub := [3][]float64{bufs[1], bufs[2], bufs[3]}
+	geos := fem.ElemGeoms(s.Mesh)
+	var sum, ref float64
+	for ei := range s.Mesh.Leaves {
+		g := geos[ei]
+		vol := g.DetC
+		var Tc float64
+		var uc, gradT [3]float64
+		for c := 0; c < 8; c++ {
+			co := &sm.Corners[ei][c]
+			var tv float64
+			for k := 0; k < int(co.N); k++ {
+				tv += co.W[k] * tb[co.Slot[k]]
+			}
+			Tc += tv / 8
+			for d := 0; d < 3; d++ {
+				var uv float64
+				for k := 0; k < int(co.N); k++ {
+					uv += co.W[k] * ub[d][co.Slot[k]]
+				}
+				uc[d] += uv / 8
+				gradT[d] += tv * g.Gc[c][d]
+			}
+		}
+		rc := math.Sqrt(g.Center[0]*g.Center[0] + g.Center[1]*g.Center[1] + g.Center[2]*g.Center[2])
+		rin, rout := s.Cfg.RInner, s.Cfg.ROuter
+		var ur, dTdr float64
+		for d := 0; d < 3; d++ {
+			ur += uc[d] * g.Center[d] / rc
+			dTdr += gradT[d] * g.Center[d] / rc
+		}
+		sum += (ur*Tc - dTdr) * vol
+		ref += rin * rout / (rc * rc * (rout - rin)) * vol
+	}
+	total := s.Rank.Allreduce(sum, sim.OpSum)
+	return total / s.Rank.Allreduce(ref, sim.OpSum)
+}
+
 // RMSVelocity returns the volume-root-mean-square velocity magnitude
 // sqrt( (1/V) ∫ |u|^2 dV ), evaluated with midpoint quadrature per
 // element (collective).
 func (s *Sim) RMSVelocity() float64 {
 	sm := s.slotMap()
 	bufs := s.gatherSlotsMulti(sm, s.U[0], s.U[1], s.U[2])
-	var sum float64
+	geos := fem.ElemGeoms(s.Mesh)
+	var sum, volSum float64
 	for ei, leaf := range s.Mesh.Leaves {
-		h := s.Cfg.Dom.ElemSize(leaf)
-		vol := h[0] * h[1] * h[2]
+		var vol float64
+		if geos != nil {
+			vol = geos[ei].DetC
+		} else {
+			h := s.Cfg.Dom.ElemSize(leaf)
+			vol = h[0] * h[1] * h[2]
+		}
+		volSum += vol
 		var u2 float64
 		for d := 0; d < 3; d++ {
 			var uc float64
@@ -666,6 +933,9 @@ func (s *Sim) RMSVelocity() float64 {
 		sum += u2 * vol
 	}
 	total := s.Rank.Allreduce(sum, sim.OpSum)
+	if s.Mesh.X != nil {
+		return math.Sqrt(total / s.Rank.Allreduce(volSum, sim.OpSum))
+	}
 	b := s.Cfg.Dom.Box
 	return math.Sqrt(total / (b[0] * b[1] * b[2]))
 }

@@ -73,6 +73,23 @@ func NoSlip(box [3]float64) VelBC {
 	}
 }
 
+// RadialNoSlip fixes all velocity components to zero on the inner and
+// outer boundaries of a spherical shell (radius rin or rout, detected
+// with a relative tolerance — shell geometry places boundary nodes on
+// the exact radii up to rounding). True free-slip on the shell needs
+// rotated per-node boundary frames (the normal is not axis-aligned) and
+// is an open item on the roadmap.
+func RadialNoSlip(rin, rout float64) VelBC {
+	tol := 1e-9 * rout
+	return func(x [3]float64) (fixed [3]bool, vals [3]float64) {
+		r := math.Sqrt(x[0]*x[0] + x[1]*x[1] + x[2]*x[2])
+		if math.Abs(r-rin) < tol || math.Abs(r-rout) < tol {
+			return [3]bool{true, true, true}, vals
+		}
+		return
+	}
+}
+
 // Solver is a Stokes problem plus its preconditioner, split into cached
 // mesh-dependent state (built once by Setup) and viscosity-dependent
 // state (refreshed by Update). The coupled operator is either an
@@ -103,6 +120,11 @@ type Solver struct {
 	// level), scaled by the viscosity on the AMG-preconditioner refresh
 	// path instead of re-running quadrature.
 	scalKern []*[8][8]float64
+	// stokesKern holds the per-element unit-viscosity coupled kernels the
+	// assembled path scales on mapped (forest) meshes, where per-element
+	// Jacobians replace the constant-h brick formulas. Shared provider
+	// with the matrix-free operator (fem.StokesKernelsFor).
+	stokesKern []*fem.StokesKernels
 
 	// Schur-diagonal assembly plan: the inverse-viscosity-weighted lumped
 	// pressure mass is linear in 1/eta per element, so the slot-space
@@ -184,8 +206,8 @@ func Setup(m *mesh.Mesh, dom fem.Domain, bc VelBC, opts Options) *Solver {
 	for c := 0; c < 3; c++ {
 		vv[c] = la.NewVec(s.nodeL)
 	}
-	for i, pos := range m.OwnedPos {
-		fixed, vals := bc(dom.Coord(pos))
+	for i := range m.OwnedPos {
+		fixed, vals := bc(fem.NodeCoord(m, dom, i))
 		bits := 0.0
 		for c := 0; c < 3; c++ {
 			if fixed[c] {
@@ -229,6 +251,10 @@ func Setup(m *mesh.Mesh, dom fem.Domain, bc VelBC, opts Options) *Solver {
 		// mesh-dependent; the viscosity is attached by Update.
 		s.MF = matfree.New(m, dom, s.Layout, nil, s.dofBC, opts.MatFree)
 		s.Op = s.MF
+	} else if m.X != nil {
+		// Mapped assembled path: per-element isoparametric unit kernels,
+		// scaled by the viscosity on every Update.
+		s.stokesKern = fem.StokesKernelsFor(m, dom)
 	}
 
 	if opts.Precond == PrecondGMG {
@@ -257,9 +283,14 @@ func Setup(m *mesh.Mesh, dom fem.Domain, bc VelBC, opts Options) *Solver {
 	} else {
 		s.nodeSM = matfree.NewSlotMap(m, 1)
 	}
+	geos := fem.ElemGeoms(m)
 	for ei, leaf := range m.Leaves {
-		h := dom.ElemSize(leaf)
-		lm := fem.LumpedMassBrick(h, 1)
+		var lm [8]float64
+		if geos != nil {
+			lm = fem.LumpedMassGeom(geos[ei], 1)
+		} else {
+			lm = fem.LumpedMassBrick(dom.ElemSize(leaf), 1)
+		}
 		cs := &s.nodeSM.Corners[ei]
 		for a := 0; a < 8; a++ {
 			for ia := 0; ia < int(cs[a].N); ia++ {
@@ -356,12 +387,33 @@ func (s *Solver) assembleCoupled(etaElem []float64, force [][8][3]float64) {
 	bb := la.NewVecBuilder(s.Layout)
 
 	for ei, leaf := range m.Leaves {
-		h := dom.ElemSize(leaf)
 		eta := etaElem[ei]
-		Av := fem.ViscousBrick(h, eta)
-		Bd := fem.DivergenceBrick(h)
-		Cs := fem.StabilizationBrick(h, eta)
-		M8 := fem.MassBrick(h, 1)
+		var Av [24][24]float64
+		var Bd [8][24]float64
+		var Cs, M8 [8][8]float64
+		if s.stokesKern != nil {
+			// Mapped elements: scale the cached per-element unit kernels —
+			// exactly what the matrix-free apply multiplies against.
+			k := s.stokesKern[ei]
+			Av, Bd, M8 = k.Av, k.Bd, k.M8
+			inv := 1 / eta
+			for a := 0; a < 24; a++ {
+				for b := 0; b < 24; b++ {
+					Av[a][b] *= eta
+				}
+			}
+			for a := 0; a < 8; a++ {
+				for b := 0; b < 8; b++ {
+					Cs[a][b] = inv * k.Cs[a][b]
+				}
+			}
+		} else {
+			h := dom.ElemSize(leaf)
+			Av = fem.ViscousBrick(h, eta)
+			Bd = fem.DivergenceBrick(h)
+			Cs = fem.StabilizationBrick(h, eta)
+			M8 = fem.MassBrick(h, 1)
+		}
 		cs := &m.Corners[ei]
 
 		// Consistent body-force load: F[a][i] = sum_b M8[a][b] f[b][i].
@@ -543,10 +595,27 @@ func (s *Solver) DivergenceNorm(x *la.Vec) float64 {
 	for c := 0; c < 3; c++ {
 		maps[c] = s.M.GatherReferenced(u[c])
 	}
+	geos := fem.ElemGeoms(s.M)
 	var sum float64
 	for ei, leaf := range s.M.Leaves {
-		h := s.Dom.ElemSize(leaf)
-		vol := h[0] * h[1] * h[2]
+		// Mid-point shape gradients and element volume: constant-h
+		// scaling on axis-aligned meshes, the cached center Jacobian on
+		// mapped ones.
+		var sg [8][3]float64
+		var vol float64
+		if geos != nil {
+			sg, vol = geos[ei].Gc, geos[ei].DetC
+		} else {
+			h := s.Dom.ElemSize(leaf)
+			vol = h[0] * h[1] * h[2]
+			xi := [3]float64{0.5, 0.5, 0.5}
+			for c := 0; c < 8; c++ {
+				g := fem.ShapeGrad(c, xi)
+				for d := 0; d < 3; d++ {
+					sg[c][d] = g[d] / h[d]
+				}
+			}
+		}
 		var uc [8][3]float64
 		for c := 0; c < 8; c++ {
 			for d := 0; d < 3; d++ {
@@ -560,11 +629,9 @@ func (s *Solver) DivergenceNorm(x *la.Vec) float64 {
 		}
 		// Mid-point divergence.
 		var div float64
-		xi := [3]float64{0.5, 0.5, 0.5}
 		for c := 0; c < 8; c++ {
-			g := fem.ShapeGrad(c, xi)
 			for d := 0; d < 3; d++ {
-				div += uc[c][d] * g[d] / h[d]
+				div += uc[c][d] * sg[c][d]
 			}
 		}
 		sum += div * div * vol
