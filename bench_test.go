@@ -117,3 +117,10 @@ func BenchmarkSec7_DGWeakScaling(b *testing.B) {
 		printOnce(b, i, func(w io.Writer) { t.Print(w) })
 	}
 }
+
+func BenchmarkFigScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, _, _ := experiments.FigScaling(experiments.Small)
+		printOnce(b, i, func(w io.Writer) { t.Print(w) })
+	}
+}

@@ -19,8 +19,10 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 2,5,6,7,8,9,10,sec6,12,sec7,matfree,gmg,timeloop,shell or all")
+	fig := flag.String("fig", "all", "which experiment: 2,5,6,7,8,9,10,sec6,12,sec7,matfree,gmg,timeloop,shell,scaling or all")
 	scaleFlag := flag.String("scale", "small", "small or full")
+	jsonOut := flag.Bool("json", false, "write BENCH_scaling.json when the scaling experiment runs")
+	jsonPath := flag.String("jsonpath", "BENCH_scaling.json", "output path for -json")
 	flag.Parse()
 
 	scale := experiments.Small
@@ -67,6 +69,17 @@ func main() {
 	run("shell", func() {
 		t, _ := experiments.FigShell(scale)
 		t.Print(w)
+	})
+	run("scaling", func() {
+		t, cases, fit := experiments.FigScaling(scale)
+		t.Print(w)
+		if *jsonOut {
+			if err := experiments.WriteScalingJSON(*jsonPath, cases, fit); err != nil {
+				fmt.Fprintf(os.Stderr, "alpsbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(w, "  wrote %s\n", *jsonPath)
+		}
 	})
 	fmt.Fprintln(w)
 }

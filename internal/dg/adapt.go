@@ -147,16 +147,21 @@ func (a *Advection) TransferAfterPartition(dests []int, vel VelocityFn) {
 	for i, d := range dests {
 		byRank[d] = append(byRank[d], a.U[i*a.n3:(i+1)*a.n3]...)
 	}
-	out := make([]any, p)
-	nb := make([]int, p)
+	var sendTo []int
+	var out []any
+	var nb []int
 	for j := range byRank {
-		out[j] = byRank[j]
-		nb[j] = 8 * len(byRank[j])
+		if len(byRank[j]) == 0 {
+			continue
+		}
+		sendTo = append(sendTo, j)
+		out = append(out, byRank[j])
+		nb = append(nb, 8*len(byRank[j]))
 	}
-	in := r.Alltoall(out, nb)
+	_, in := r.AlltoallvSparse(sendTo, out, nb)
 	a.U = a.U[:0]
-	for i := 0; i < p; i++ {
-		a.U = append(a.U, in[i].([]float64)...)
+	for _, d := range in {
+		a.U = append(a.U, d.([]float64)...)
 	}
 	a.Rebuild(vel)
 }

@@ -59,6 +59,11 @@ type ghostPlan struct {
 	leaves  []forest.Octant // sorted ghost leaves
 	sendIdx [][]int32       // per rank: local element indices to send
 	recvOff [][]int32       // per rank: ghost slots received from that rank
+	// Persisted sparse neighborhood: sendTo lists the ranks with
+	// non-empty sendIdx, recvFrom those with non-empty recvOff, so each
+	// stage's value update exchanges messages only with actual neighbors.
+	sendTo   []int
+	recvFrom []int
 }
 
 // VelocityFn gives the constant advection velocity of an element in tree
@@ -139,11 +144,9 @@ func (a *Advection) buildGhosts() {
 		}
 	}
 	a.ghost.sendIdx = make([][]int32, p)
-	out := make([]any, p)
-	nb := make([]int, p)
-	type ghostMsg struct {
-		Leaves []forest.Octant
-	}
+	a.ghost.sendTo = a.ghost.sendTo[:0]
+	var out []any
+	var nb []int
 	for rk := 0; rk < p; rk++ {
 		idx := make([]int32, 0, len(sendSet[rk]))
 		for li := range sendSet[rk] {
@@ -151,26 +154,27 @@ func (a *Advection) buildGhosts() {
 		}
 		sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
 		a.ghost.sendIdx[rk] = idx
+		if len(idx) == 0 || rk == r.ID() {
+			continue
+		}
+		a.ghost.sendTo = append(a.ghost.sendTo, rk)
 		ls := make([]forest.Octant, len(idx))
 		for k, li := range idx {
 			ls[k] = f.Leaves()[li]
 		}
-		out[rk] = ghostMsg{Leaves: ls}
-		nb[rk] = 20 * len(ls)
+		out = append(out, ls)
+		nb = append(nb, 20*len(ls))
 	}
-	in := r.Alltoall(out, nb)
+	froms, in := r.AlltoallvSparse(a.ghost.sendTo, out, nb)
 	a.ghost.leaves = a.ghost.leaves[:0]
 	type srcRange struct {
 		rank, count int
 	}
 	var ranges []srcRange
-	for rk := 0; rk < p; rk++ {
-		if rk == r.ID() {
-			continue
-		}
-		msg := in[rk].(ghostMsg)
-		a.ghost.leaves = append(a.ghost.leaves, msg.Leaves...)
-		ranges = append(ranges, srcRange{rk, len(msg.Leaves)})
+	for i, d := range in {
+		ls := d.([]forest.Octant)
+		a.ghost.leaves = append(a.ghost.leaves, ls...)
+		ranges = append(ranges, srcRange{froms[i], len(ls)})
 	}
 	// Sort ghosts and remember, per source rank, which slots its
 	// elements landed in (for value updates each stage).
@@ -203,8 +207,12 @@ func (a *Advection) buildGhosts() {
 		}
 		perRank[tg.rank][tg.k] = int32(slot)
 	}
+	a.ghost.recvFrom = a.ghost.recvFrom[:0]
 	for rk := 0; rk < p; rk++ {
 		a.ghost.recvOff[rk] = perRank[rk]
+		if len(perRank[rk]) > 0 {
+			a.ghost.recvFrom = append(a.ghost.recvFrom, rk)
+		}
 	}
 	a.ghostU = make([]float64, a.n3*len(a.ghost.leaves))
 }
@@ -373,30 +381,22 @@ func (a *Advection) faceSlice(u []float64, axis, side int8, out []float64) {
 // (collective).
 func (a *Advection) updateGhostValues(u []float64) {
 	r := a.F.Rank()
-	p := r.Size()
-	out := make([]any, p)
-	nb := make([]int, p)
-	for rk := 0; rk < p; rk++ {
+	out := make([]any, len(a.ghost.sendTo))
+	nb := make([]int, len(a.ghost.sendTo))
+	for k, rk := range a.ghost.sendTo {
 		idx := a.ghost.sendIdx[rk]
-		if rk == r.ID() || len(idx) == 0 {
-			out[rk] = []float64(nil)
-			continue
-		}
 		buf := make([]float64, len(idx)*a.n3)
-		for k, li := range idx {
-			copy(buf[k*a.n3:(k+1)*a.n3], u[int(li)*a.n3:(int(li)+1)*a.n3])
+		for n, li := range idx {
+			copy(buf[n*a.n3:(n+1)*a.n3], u[int(li)*a.n3:(int(li)+1)*a.n3])
 		}
-		out[rk] = buf
-		nb[rk] = 8 * len(buf)
+		out[k] = buf
+		nb[k] = 8 * len(buf)
 	}
-	in := r.Alltoall(out, nb)
-	for rk := 0; rk < p; rk++ {
-		if rk == r.ID() {
-			continue
-		}
-		buf, _ := in[rk].([]float64)
-		for k, slot := range a.ghost.recvOff[rk] {
-			copy(a.ghostU[int(slot)*a.n3:(int(slot)+1)*a.n3], buf[k*a.n3:(k+1)*a.n3])
+	in := r.NeighborExchange(a.ghost.sendTo, out, nb, a.ghost.recvFrom)
+	for k, rk := range a.ghost.recvFrom {
+		buf := in[k].([]float64)
+		for n, slot := range a.ghost.recvOff[rk] {
+			copy(a.ghostU[int(slot)*a.n3:(int(slot)+1)*a.n3], buf[n*a.n3:(n+1)*a.n3])
 		}
 	}
 }

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rhea/internal/sim"
+)
+
+// TestShellSolve256Short is the -short CI smoke for the scalability
+// acceptance criteria: a shell convection Stokes solve plus ghost
+// exchange at 256 simulated ranks completes inside the short-test
+// budget, per-rank user messages per ghost exchange are O(neighbors)
+// (vs the old dense O(P)), and collective rounds per rank stay within
+// ceil(log2 P) + O(1) per collective.
+func TestShellSolve256Short(t *testing.T) {
+	const p = 256
+	c := runScalingCase("strong", p, scalingShellConfig(1536, 2, 1e-5))
+	if c.Elements != 1536 || c.Nodes == 0 {
+		t.Fatalf("unexpected mesh: %+v", c)
+	}
+	if c.MinresIters <= 0 {
+		t.Fatalf("solve did not run: %+v", c)
+	}
+	// One ghost-exchange Gather costs each rank at most its neighbor
+	// count in user messages — far below the dense P-1.
+	if c.MaxGhostMsgs > c.MaxGhostNeighbors {
+		t.Errorf("ghost exchange sent %d msgs on some rank, more than its %d neighbors",
+			c.MaxGhostMsgs, c.MaxGhostNeighbors)
+	}
+	if c.MaxGhostMsgs >= p-1 {
+		t.Errorf("ghost exchange sent %d msgs per rank: no better than dense P-1 = %d",
+			c.MaxGhostMsgs, p-1)
+	}
+	if c.MaxGhostNeighbors >= p/4 {
+		t.Errorf("ghost neighborhood %d is not sparse at P=%d", c.MaxGhostNeighbors, p)
+	}
+	// One scalar Allreduce costs exactly ceil(log2 P) rounds per rank.
+	if c.AllreduceRounds > sim.CeilLog2(p) {
+		t.Errorf("Allreduce took %d rounds per rank, want <= %d", c.AllreduceRounds, sim.CeilLog2(p))
+	}
+	// Whole-solve collective rounds: at most 2*ceil(log2 P) + O(1) per
+	// collective op (vector reductions pay two tree traversals).
+	if lim := (2*sim.CeilLog2(p) + 2) * c.Collectives; c.MaxCollRounds > lim {
+		t.Errorf("solve spent %d collective rounds on some rank over %d collectives (limit %d)",
+			c.MaxCollRounds, c.Collectives, lim)
+	}
+}
+
+// TestFigScaling runs the full scaling figure and sanity-checks the
+// table, the per-case message bounds, and the JSON record.
+func TestFigScaling(t *testing.T) {
+	skipIfShort(t)
+	tb, cases, fit := FigScaling(Small)
+	rs := rows(t, tb)
+	if len(rs) != 3 || len(cases) != 3 {
+		t.Fatalf("want 3 strong cases, got %d rows / %d cases", len(rs), len(cases))
+	}
+	for _, c := range cases {
+		if c.Series != "strong" || c.Elements != 1536 {
+			t.Errorf("unexpected case: %+v", c)
+		}
+		if c.MaxGhostMsgs > c.MaxGhostNeighbors || c.MaxGhostNeighbors >= c.Ranks-1 {
+			t.Errorf("P=%d: ghost exchange not sparse: %d msgs, %d neighbors",
+				c.Ranks, c.MaxGhostMsgs, c.MaxGhostNeighbors)
+		}
+		if c.AllreduceRounds != sim.CeilLog2(c.Ranks) {
+			t.Errorf("P=%d: Allreduce rounds %d, want %d", c.Ranks, c.AllreduceRounds, sim.CeilLog2(c.Ranks))
+		}
+	}
+	// Iteration counts must stay roughly flat across rank counts (the
+	// physics is identical; only the block-Jacobi granularity changes).
+	if cases[2].MinresIters > 2*cases[0].MinresIters {
+		t.Errorf("MINRES iterations blow up with P: %d at 16 vs %d at 256",
+			cases[0].MinresIters, cases[2].MinresIters)
+	}
+	// The refit runs against the modeled straggler times, so its
+	// predictions must track them (not the oversubscribed wall clock).
+	for _, c := range cases {
+		if c.ModelS <= 0 || c.FitS <= 0 {
+			t.Fatalf("P=%d: non-positive model/fit times: %+v", c.Ranks, c)
+		}
+		if c.FitS > 3*c.ModelS || c.ModelS > 3*c.FitS {
+			t.Errorf("P=%d: fit %.4fs does not track modeled %.4fs", c.Ranks, c.FitS, c.ModelS)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_scaling.json")
+	if err := WriteScalingJSON(path, cases, fit); err != nil {
+		t.Fatalf("WriteScalingJSON: %v", err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read json: %v", err)
+	}
+	var rec ScalingJSON
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(rec.Cases) != 3 || rec.Generated == "" {
+		t.Errorf("json record incomplete: %+v", rec)
+	}
+}

@@ -194,16 +194,23 @@ func Transfer(r *sim.Rank, dests []int, data ElemData) ElemData {
 	for i, d := range dests {
 		byRank[d] = append(byRank[d], data[i])
 	}
-	out := make([]any, p)
-	nb := make([]int, p)
+	var sendTo []int
+	var out []any
+	var nb []int
 	for j := range byRank {
-		out[j] = byRank[j]
-		nb[j] = 64 * len(byRank[j])
+		if len(byRank[j]) == 0 {
+			continue
+		}
+		sendTo = append(sendTo, j)
+		out = append(out, byRank[j])
+		nb = append(nb, 64*len(byRank[j]))
 	}
-	in := r.Alltoall(out, nb)
+	// Sources arrive sorted by rank, so the concatenation preserves
+	// curve order exactly as the dense exchange did.
+	_, in := r.AlltoallvSparse(sendTo, out, nb)
 	var merged ElemData
-	for i := 0; i < p; i++ {
-		merged = append(merged, in[i].(ElemData)...)
+	for _, d := range in {
+		merged = append(merged, d.(ElemData)...)
 	}
 	return merged
 }

@@ -362,18 +362,20 @@ func (f *Forest) exchange(reqs []Octant) []Octant {
 			}
 		}
 	}
-	out := make([]any, p)
-	nb := make([]int, p)
+	var dests []int
+	var out []any
+	var nb []int
 	for j := range byRank {
-		out[j] = byRank[j]
-		nb[j] = octantBytes * len(byRank[j])
-	}
-	in := f.rank.Alltoall(out, nb)
-	var got []Octant
-	for i, d := range in {
-		if i == f.rank.ID() {
+		if len(byRank[j]) == 0 {
 			continue
 		}
+		dests = append(dests, j)
+		out = append(out, byRank[j])
+		nb = append(nb, octantBytes*len(byRank[j]))
+	}
+	_, in := f.rank.AlltoallvSparse(dests, out, nb)
+	var got []Octant
+	for _, d := range in {
 		got = append(got, d.([]Octant)...)
 	}
 	return got
@@ -394,16 +396,23 @@ func (f *Forest) Partition() []int {
 		dest[i] = int(d)
 		byRank[d] = append(byRank[d], f.leaves[i])
 	}
-	out := make([]any, p)
-	nb := make([]int, p)
+	var sendTo []int
+	var out []any
+	var nb []int
 	for j := range byRank {
-		out[j] = byRank[j]
-		nb[j] = octantBytes * len(byRank[j])
+		if len(byRank[j]) == 0 {
+			continue
+		}
+		sendTo = append(sendTo, j)
+		out = append(out, byRank[j])
+		nb = append(nb, octantBytes*len(byRank[j]))
 	}
-	in := f.rank.Alltoall(out, nb)
+	// Sources arrive sorted by rank, so the concatenation stays in curve
+	// order.
+	_, in := f.rank.AlltoallvSparse(sendTo, out, nb)
 	f.leaves = f.leaves[:0]
-	for i := int64(0); i < p; i++ {
-		f.leaves = append(f.leaves, in[i].([]Octant)...)
+	for _, d := range in {
+		f.leaves = append(f.leaves, d.([]Octant)...)
 	}
 	f.updateStarts()
 	return dest

@@ -28,13 +28,7 @@ func (m *Mat) GatherGlobalCSR() *CSR {
 	}
 	msg.Vals = append([]float64(nil), m.vals...)
 
-	out := make([]any, p)
-	nb := make([]int, p)
-	for j := 0; j < p; j++ {
-		out[j] = msg
-		nb[j] = 16*len(msg.Vals) + 4*len(msg.RowPtr)
-	}
-	in := r.Alltoall(out, nb)
+	in := r.Allgather(msg, 16*len(msg.Vals)+4*len(msg.RowPtr))
 
 	n := int(m.Layout.N())
 	c := &CSR{N: n, RowPtr: make([]int32, n+1)}
@@ -77,13 +71,7 @@ func GatherGlobal(v *Vec) []float64 {
 	// Send an immutable snapshot: callers may reuse v.Data immediately
 	// after this returns, while remote ranks read the message later.
 	snap := append([]float64(nil), v.Data...)
-	out := make([]any, p)
-	nb := make([]int, p)
-	for j := 0; j < p; j++ {
-		out[j] = snap
-		nb[j] = 8 * len(snap)
-	}
-	in := r.Alltoall(out, nb)
+	in := r.Allgather(snap, 8*len(snap))
 	full := make([]float64, v.Layout.N())
 	for i := 0; i < p; i++ {
 		d := in[i].([]float64)

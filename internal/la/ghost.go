@@ -1,6 +1,34 @@
 package la
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
+
+// f64bufs pools float64 send buffers for the neighbor exchanges. A
+// sender Gets a buffer, fills it and hands it to the transport; the
+// receiver copies the values out and Puts the buffer back. Because a
+// buffer is only returned to the pool after its message has been
+// consumed, reuse can never race with a lagging reader.
+var f64bufs = sync.Pool{New: func() any { return []float64(nil) }}
+
+// GetBuf returns a pooled float64 buffer of length n (shared send-buffer
+// pool for neighbor exchanges; see PutBuf).
+func GetBuf(n int) []float64 {
+	b := f64bufs.Get().([]float64)
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	return b[:n]
+}
+
+// PutBuf returns a buffer obtained from GetBuf (or received from a
+// neighbor exchange) to the pool once its contents have been consumed.
+func PutBuf(b []float64) {
+	if cap(b) > 0 {
+		f64bufs.Put(b[:0])
+	}
+}
 
 // GhostExchange is a reusable neighbor-exchange plan over a fixed set of
 // off-rank global indices of a layout. It generalizes the ghost update
@@ -13,6 +41,11 @@ import "sort"
 // pressure per node). Owned data lives in caller-managed slices of
 // length Local()*block; ghost data in slices of length NumGhosts()*block,
 // indexed by ghost slot in the order of Ghosts().
+//
+// The plan persists the sparse neighborhood discovered at construction:
+// Gather and ScatterAdd exchange messages only with actual neighbor
+// ranks (sim.NeighborExchange — no handshake, no O(P) message fan-out)
+// and draw their send buffers from a shared pool.
 type GhostExchange struct {
 	layout *Layout
 	block  int
@@ -23,6 +56,13 @@ type GhostExchange struct {
 	// rank r requested them (the two sides of the plan line up).
 	reqSlot [][]int32
 	sendIdx [][]int32
+
+	// Persisted neighbor plan: owners holds the ranks this rank requests
+	// ghosts from (reqSlot non-empty), servers the ranks requesting data
+	// from this rank (sendIdx non-empty). Gather sends to servers and
+	// receives from owners; ScatterAdd is the transpose.
+	owners  []int
+	servers []int
 }
 
 // NewGhostExchange builds the exchange plan for the given off-rank global
@@ -52,24 +92,26 @@ func NewGhostExchange(l *Layout, want []int64, block int) *GhostExchange {
 		wantByRank[o] = append(wantByRank[o], gid)
 		g.reqSlot[o] = append(g.reqSlot[o], int32(s))
 	}
-	req := make([]any, p)
-	nb := make([]int, p)
-	for j := range wantByRank {
-		req[j] = wantByRank[j]
-		nb[j] = 8 * len(wantByRank[j])
-	}
-	in := r.Alltoall(req, nb)
-	g.sendIdx = make([][]int32, p)
-	for i, d := range in {
-		if i == r.ID() {
+	var reqs []any
+	var nb []int
+	for j, w := range wantByRank {
+		if len(w) == 0 {
 			continue
 		}
+		g.owners = append(g.owners, j)
+		reqs = append(reqs, w)
+		nb = append(nb, 8*len(w))
+	}
+	froms, datas := r.AlltoallvSparse(g.owners, reqs, nb)
+	g.sendIdx = make([][]int32, p)
+	g.servers = froms
+	for i, d := range datas {
 		asked := d.([]int64)
 		idx := make([]int32, len(asked))
 		for k, gid := range asked {
 			idx[k] = int32(gid - l.Start())
 		}
-		g.sendIdx[i] = idx
+		g.sendIdx[froms[i]] = idx
 	}
 	return g
 }
@@ -79,6 +121,19 @@ func (g *GhostExchange) NumGhosts() int { return len(g.ghosts) }
 
 // Ghosts returns the off-rank global indices in ghost-slot order.
 func (g *GhostExchange) Ghosts() []int64 { return g.ghosts }
+
+// NumNeighbors returns the number of distinct ranks this plan exchanges
+// messages with in either direction.
+func (g *GhostExchange) NumNeighbors() int {
+	seen := make(map[int]struct{}, len(g.owners)+len(g.servers))
+	for _, o := range g.owners {
+		seen[o] = struct{}{}
+	}
+	for _, s := range g.servers {
+		seen[s] = struct{}{}
+	}
+	return len(seen)
+}
 
 // Gather fills ghost (length NumGhosts()*block) with the remote blocks,
 // served from every owner's owned slice (length Local()*block)
@@ -96,36 +151,29 @@ func (g *GhostExchange) Gather(owned, ghost []float64) {
 func (g *GhostExchange) GatherMulti(owned, ghost [][]float64) {
 	nf := len(owned)
 	r := g.layout.rank
-	p := r.Size()
-	out := make([]any, p)
-	nb := make([]int, p)
-	for j := range g.sendIdx {
-		if j == r.ID() || len(g.sendIdx[j]) == 0 {
-			out[j] = []float64(nil)
-			continue
-		}
-		buf := make([]float64, len(g.sendIdx[j])*g.block*nf)
+	out := make([]any, len(g.servers))
+	nb := make([]int, len(g.servers))
+	for k, j := range g.servers {
+		buf := GetBuf(len(g.sendIdx[j]) * g.block * nf)
 		pos := 0
 		for _, li := range g.sendIdx[j] {
 			for f := 0; f < nf; f++ {
 				pos += copy(buf[pos:], owned[f][int(li)*g.block:(int(li)+1)*g.block])
 			}
 		}
-		out[j] = buf
-		nb[j] = 8 * len(buf)
+		out[k] = buf
+		nb[k] = 8 * len(buf)
 	}
-	in := r.Alltoall(out, nb)
-	for i, d := range in {
-		if i == r.ID() {
-			continue
-		}
-		buf, _ := d.([]float64)
+	in := r.NeighborExchange(g.servers, out, nb, g.owners)
+	for k, i := range g.owners {
+		buf := in[k].([]float64)
 		pos := 0
 		for _, s := range g.reqSlot[i] {
 			for f := 0; f < nf; f++ {
 				pos += copy(ghost[f][int(s)*g.block:(int(s)+1)*g.block], buf[pos:pos+g.block])
 			}
 		}
+		PutBuf(buf)
 	}
 }
 
@@ -134,32 +182,25 @@ func (g *GhostExchange) GatherMulti(owned, ghost [][]float64) {
 // (collective).
 func (g *GhostExchange) ScatterAdd(ghost, owned []float64) {
 	r := g.layout.rank
-	p := r.Size()
-	out := make([]any, p)
-	nb := make([]int, p)
-	for j := range g.reqSlot {
-		if j == r.ID() || len(g.reqSlot[j]) == 0 {
-			out[j] = []float64(nil)
-			continue
+	out := make([]any, len(g.owners))
+	nb := make([]int, len(g.owners))
+	for k, j := range g.owners {
+		buf := GetBuf(len(g.reqSlot[j]) * g.block)
+		for n, s := range g.reqSlot[j] {
+			copy(buf[n*g.block:(n+1)*g.block], ghost[int(s)*g.block:(int(s)+1)*g.block])
 		}
-		buf := make([]float64, len(g.reqSlot[j])*g.block)
-		for k, s := range g.reqSlot[j] {
-			copy(buf[k*g.block:(k+1)*g.block], ghost[int(s)*g.block:(int(s)+1)*g.block])
-		}
-		out[j] = buf
-		nb[j] = 8 * len(buf)
+		out[k] = buf
+		nb[k] = 8 * len(buf)
 	}
-	in := r.Alltoall(out, nb)
-	for i, d := range in {
-		if i == r.ID() {
-			continue
-		}
-		buf, _ := d.([]float64)
-		for k, li := range g.sendIdx[i] {
+	in := r.NeighborExchange(g.owners, out, nb, g.servers)
+	for k, i := range g.servers {
+		buf := in[k].([]float64)
+		for n, li := range g.sendIdx[i] {
 			base := int(li) * g.block
 			for c := 0; c < g.block; c++ {
-				owned[base+c] += buf[k*g.block+c]
+				owned[base+c] += buf[n*g.block+c]
 			}
 		}
+		PutBuf(buf)
 	}
 }

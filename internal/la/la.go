@@ -170,9 +170,14 @@ type Mat struct {
 	cols     []int64 // slot -> global column index; owned cols first is NOT guaranteed
 	ownedCol []int32 // slot -> local index if owned, else -1
 
-	// ghost exchange plan
+	// ghost exchange plan: sendTo/recvSlot are indexed by rank, but only
+	// the sparse neighbor sets are populated — askers lists the ranks
+	// that request this rank's entries (sendTo non-empty), owners the
+	// ranks this rank pulls ghost columns from (recvSlot non-empty).
 	sendTo   [][]int32 // per rank: my local indices to send
 	recvSlot [][]int32 // per rank: column slots to fill from that rank
+	askers   []int
+	owners   []int
 
 	assembled bool
 	xbuf      []float64 // slot-indexed work buffer for Apply
@@ -212,22 +217,25 @@ func (m *Mat) Assemble() {
 	r := m.Layout.rank
 	p := r.Size()
 
-	// Route buffered remote triplets to their owners.
+	// Route buffered remote triplets to their owners (sparse: only ranks
+	// this rank actually contributed to receive a message).
 	byRank := make([][]triplet, p)
 	for _, t := range m.remote {
 		byRank[m.Layout.OwnerOf(t.Row)] = append(byRank[m.Layout.OwnerOf(t.Row)], t)
 	}
-	out := make([]any, p)
-	nb := make([]int, p)
+	var dests []int
+	var out []any
+	var nb []int
 	for j := range byRank {
-		out[j] = byRank[j]
-		nb[j] = 24 * len(byRank[j])
-	}
-	in := r.Alltoall(out, nb)
-	for i, d := range in {
-		if i == r.ID() {
+		if len(byRank[j]) == 0 || j == r.ID() {
 			continue
 		}
+		dests = append(dests, j)
+		out = append(out, byRank[j])
+		nb = append(nb, 24*len(byRank[j]))
+	}
+	_, datas := r.AlltoallvSparse(dests, out, nb)
+	for _, d := range datas {
 		for _, t := range d.([]triplet) {
 			i := int(t.Row - m.Layout.Start())
 			if m.build[i] == nil {
@@ -286,7 +294,8 @@ func (m *Mat) Assemble() {
 	}
 	m.build = nil
 
-	// Ghost plan: request each non-owned column from its owner.
+	// Ghost plan: request each non-owned column from its owner and
+	// persist the sparse neighborhood for updateGhosts.
 	wantByRank := make([][]int64, p)
 	slotByRank := make([][]int32, p)
 	for s, c := range m.cols {
@@ -296,24 +305,27 @@ func (m *Mat) Assemble() {
 			slotByRank[o] = append(slotByRank[o], int32(s))
 		}
 	}
-	reqOut := make([]any, p)
-	reqNB := make([]int, p)
+	var reqOut []any
+	var reqNB []int
+	m.owners = nil
 	for j := range wantByRank {
-		reqOut[j] = wantByRank[j]
-		reqNB[j] = 8 * len(wantByRank[j])
-	}
-	reqIn := r.Alltoall(reqOut, reqNB)
-	m.sendTo = make([][]int32, p)
-	for i, d := range reqIn {
-		if i == r.ID() {
+		if len(wantByRank[j]) == 0 {
 			continue
 		}
+		m.owners = append(m.owners, j)
+		reqOut = append(reqOut, wantByRank[j])
+		reqNB = append(reqNB, 8*len(wantByRank[j]))
+	}
+	froms, reqIn := r.AlltoallvSparse(m.owners, reqOut, reqNB)
+	m.sendTo = make([][]int32, p)
+	m.askers = froms
+	for i, d := range reqIn {
 		asked := d.([]int64)
 		idx := make([]int32, len(asked))
 		for k, g := range asked {
 			idx[k] = int32(g - m.Layout.Start())
 		}
-		m.sendTo[i] = idx
+		m.sendTo[froms[i]] = idx
 	}
 	m.recvSlot = slotByRank
 	m.xbuf = make([]float64, len(m.cols))
@@ -324,38 +336,33 @@ func (m *Mat) Assemble() {
 func (m *Mat) NNZ() int { return len(m.vals) }
 
 // updateGhosts fills m.xbuf (slot-indexed) from the distributed vector x:
-// owned slots locally, non-owned slots via one neighbor exchange.
+// owned slots locally, non-owned slots via one neighbor exchange over the
+// plan persisted at Assemble (messages only to/from actual neighbors,
+// send buffers drawn from the shared pool).
 func (m *Mat) updateGhosts(x *Vec) {
 	r := m.Layout.rank
-	p := r.Size()
 	for s := range m.cols {
 		if li := m.ownedCol[s]; li >= 0 {
 			m.xbuf[s] = x.Data[li]
 		}
 	}
-	out := make([]any, p)
-	nb := make([]int, p)
-	for j := range m.sendTo {
-		if j == r.ID() || m.sendTo[j] == nil {
-			out[j] = []float64(nil)
-			continue
+	out := make([]any, len(m.askers))
+	nb := make([]int, len(m.askers))
+	for k, j := range m.askers {
+		vals := GetBuf(len(m.sendTo[j]))
+		for n, li := range m.sendTo[j] {
+			vals[n] = x.Data[li]
 		}
-		vals := make([]float64, len(m.sendTo[j]))
-		for k, li := range m.sendTo[j] {
-			vals[k] = x.Data[li]
-		}
-		out[j] = vals
-		nb[j] = 8 * len(vals)
+		out[k] = vals
+		nb[k] = 8 * len(vals)
 	}
-	in := r.Alltoall(out, nb)
-	for i, d := range in {
-		if i == r.ID() {
-			continue
+	in := r.NeighborExchange(m.askers, out, nb, m.owners)
+	for k, i := range m.owners {
+		vals := in[k].([]float64)
+		for n, s := range m.recvSlot[i] {
+			m.xbuf[s] = vals[n]
 		}
-		vals := d.([]float64)
-		for k, s := range m.recvSlot[i] {
-			m.xbuf[s] = vals[k]
-		}
+		PutBuf(vals)
 	}
 }
 

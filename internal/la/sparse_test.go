@@ -1,0 +1,107 @@
+package la
+
+import (
+	"testing"
+
+	"rhea/internal/sim"
+)
+
+// TestGhostExchangeMsgsAreSparse is the acceptance test for the sparse
+// neighbor exchange: with a localized reference pattern (each rank only
+// references its ring neighbors' indices), one Gather costs each rank
+// O(neighbors) user messages — not the O(P) of the old dense Alltoall,
+// which sent P-1 messages per rank no matter how many were empty.
+func TestGhostExchangeMsgsAreSparse(t *testing.T) {
+	const p = 48
+	sim.Run(p, func(r *sim.Rank) {
+		l := NewLayout(r, 4)
+		next := (r.ID() + 1) % p
+		prev := (r.ID() + p - 1) % p
+		// Reference one index from each ring neighbor.
+		want := []int64{l.Offsets[next], l.Offsets[prev] + 1}
+		gx := NewGhostExchange(l, want, 1)
+		if n := gx.NumNeighbors(); n != 2 {
+			t.Errorf("rank %d: %d plan neighbors, want 2", r.ID(), n)
+		}
+		owned := make([]float64, l.Local())
+		for i := range owned {
+			owned[i] = float64(l.Start() + int64(i))
+		}
+		ghost := make([]float64, gx.NumGhosts())
+
+		pre := r.Stats()
+		gx.Gather(owned, ghost)
+		d := r.Stats()
+		um := d.UserMsgs - pre.UserMsgs
+		if um != 2 {
+			t.Errorf("rank %d: one Gather sent %d user messages, want 2 (O(neighbors))", r.ID(), um)
+		}
+		// The old dense exchange cost P-1 messages per rank per round.
+		if um >= p-1 {
+			t.Errorf("rank %d: %d messages is not better than the dense %d", r.ID(), um, p-1)
+		}
+		if cm := d.CollMsgs - pre.CollMsgs; cm != 0 {
+			t.Errorf("rank %d: Gather spent %d collective transport messages, want 0 (plan reuse)", r.ID(), cm)
+		}
+		for s, g := range gx.Ghosts() {
+			if ghost[s] != float64(g) {
+				t.Errorf("rank %d: ghost %d = %v", r.ID(), g, ghost[s])
+			}
+		}
+
+		// ScatterAdd is the transpose: same sparse message count.
+		pre = r.Stats()
+		add := make([]float64, len(ghost))
+		for i := range add {
+			add[i] = 1
+		}
+		acc := make([]float64, len(owned))
+		gx.ScatterAdd(add, acc)
+		if um := r.Stats().UserMsgs - pre.UserMsgs; um != 2 {
+			t.Errorf("rank %d: one ScatterAdd sent %d user messages, want 2", r.ID(), um)
+		}
+	})
+}
+
+// TestMatApplySparseGhosts checks that the assembled-matrix ghost update
+// also exchanges O(neighbors) messages per Apply: a tridiagonal-coupled
+// layout only talks to ring neighbors regardless of P.
+func TestMatApplySparseGhosts(t *testing.T) {
+	const p = 24
+	sim.Run(p, func(r *sim.Rank) {
+		l := NewLayout(r, 3)
+		m := NewMat(l)
+		n := l.N()
+		for i := 0; i < l.Local(); i++ {
+			g := l.Start() + int64(i)
+			m.AddValue(g, g, 2)
+			if g > 0 {
+				m.AddValue(g, g-1, -1)
+			}
+			if g < n-1 {
+				m.AddValue(g, g+1, -1)
+			}
+		}
+		m.Assemble()
+		x, y := NewVec(l), NewVec(l)
+		x.Set(1)
+		pre := r.Stats()
+		m.Apply(x, y)
+		um := r.Stats().UserMsgs - pre.UserMsgs
+		// Interior ranks serve both ring neighbors; never anywhere near P-1.
+		if um > 2 {
+			t.Errorf("rank %d: Apply sent %d user messages, want <= 2", r.ID(), um)
+		}
+		// Laplacian row sums: 0 in the interior, 1 at the global ends.
+		for i, v := range y.Data {
+			g := l.Start() + int64(i)
+			wantV := 0.0
+			if g == 0 || g == n-1 {
+				wantV = 1
+			}
+			if v != wantV {
+				t.Errorf("rank %d: y[%d] = %v, want %v", r.ID(), g, v, wantV)
+			}
+		}
+	})
+}

@@ -33,7 +33,7 @@ func (b *VecBuilder) Add(g int64, v float64) {
 }
 
 // Finalize routes off-rank contributions and returns the assembled vector
-// (collective).
+// (collective). Only ranks actually contributed to receive a message.
 func (b *VecBuilder) Finalize() *Vec {
 	r := b.layout.rank
 	p := r.Size()
@@ -45,17 +45,19 @@ func (b *VecBuilder) Finalize() *Vec {
 		o := b.layout.OwnerOf(t.G)
 		byRank[o] = append(byRank[o], t)
 	}
-	out := make([]any, p)
-	nb := make([]int, p)
+	var dests []int
+	var out []any
+	var nb []int
 	for j := range byRank {
-		out[j] = byRank[j]
-		nb[j] = 16 * len(byRank[j])
-	}
-	in := r.Alltoall(out, nb)
-	for i, d := range in {
-		if i == r.ID() {
+		if len(byRank[j]) == 0 || j == r.ID() {
 			continue
 		}
+		dests = append(dests, j)
+		out = append(out, byRank[j])
+		nb = append(nb, 16*len(byRank[j]))
+	}
+	_, datas := r.AlltoallvSparse(dests, out, nb)
+	for _, d := range datas {
 		for _, t := range d.([]struct {
 			G int64
 			V float64

@@ -322,45 +322,48 @@ func ExtractForest(f *forest.Forest, g Geometry) *Mesh {
 			askPos[info.owner] = append(askPos[info.owner], np)
 		}
 	}
-	out := make([]any, p)
-	nb := make([]int, p)
+	// Route the node queries to their owners (sparse: only actual
+	// neighbor ranks exchange messages), answer them, and persist the
+	// neighborhood for GatherReferenced.
+	var askOut []any
+	var askNB []int
 	for j := range askPos {
-		out[j] = askPos[j]
-		nb[j] = 16 * len(askPos[j])
-	}
-	in := r.Alltoall(out, nb)
-	resp := make([]any, p)
-	m.refSend = make([][]int32, p)
-	for i, d := range in {
-		if i == r.ID() {
+		if len(askPos[j]) == 0 {
 			continue
 		}
+		m.refOwners = append(m.refOwners, j)
+		askOut = append(askOut, askPos[j])
+		askNB = append(askNB, 16*len(askPos[j]))
+	}
+	froms, asks := r.AlltoallvSparse(m.refOwners, askOut, askNB)
+	m.refSend = make([][]int32, p)
+	m.refAskers = froms
+	resp := make([]any, len(froms))
+	respNB := make([]int, len(froms))
+	for i, d := range asks {
 		asked := d.([]forest.NodePos)
 		gids := make([]int64, len(asked))
 		send := make([]int32, len(asked))
 		for k, np := range asked {
 			li, ok := m.posToLocalT[keyOf(np)]
 			if !ok {
-				panic(fmt.Sprintf("mesh: rank %d asked for node %v not owned by rank %d", i, np, r.ID()))
+				panic(fmt.Sprintf("mesh: rank %d asked for node %v not owned by rank %d", froms[i], np, r.ID()))
 			}
 			gids[k] = m.Offset + int64(li)
 			send[k] = li
 		}
 		resp[i] = gids
-		m.refSend[i] = send
-		nb[i] = 8 * len(gids)
+		respNB[i] = 8 * len(gids)
+		m.refSend[froms[i]] = send
 	}
-	back := r.Alltoall(resp, nb)
+	back := r.NeighborExchange(m.refAskers, resp, respNB, m.refOwners)
 	m.refWant = make([][]int64, p)
-	for i := range back {
-		if i == r.ID() {
-			continue
+	for k, o := range m.refOwners {
+		gids := back[k].([]int64)
+		for i, g := range gids {
+			m.gidCacheT[keyOf(askPos[o][i])] = g
 		}
-		gids, _ := back[i].([]int64)
-		for k, g := range gids {
-			m.gidCacheT[keyOf(askPos[i][k])] = g
-		}
-		m.refWant[i] = gids
+		m.refWant[o] = gids
 	}
 
 	// Fill final corner tables with resolved gids.
@@ -421,18 +424,20 @@ func exchangeForestGhosts(f *forest.Forest) []forest.Octant {
 			}
 		}
 	}
-	out := make([]any, p)
-	nb := make([]int, p)
+	var dests []int
+	var out []any
+	var nb []int
 	for j := range byRank {
-		out[j] = byRank[j]
-		nb[j] = 20 * len(byRank[j])
-	}
-	in := r.Alltoall(out, nb)
-	var ghosts []forest.Octant
-	for i, d := range in {
-		if i == r.ID() {
+		if len(byRank[j]) == 0 {
 			continue
 		}
+		dests = append(dests, j)
+		out = append(out, byRank[j])
+		nb = append(nb, 20*len(byRank[j]))
+	}
+	_, in := r.AlltoallvSparse(dests, out, nb)
+	var ghosts []forest.Octant
+	for _, d := range in {
 		ghosts = append(ghosts, d.([]forest.Octant)...)
 	}
 	return ghosts

@@ -98,8 +98,14 @@ type Mesh struct {
 
 	// Ghost exchange plan over referenced global ids: used to gather
 	// remote nodal values (field transfer, viscosity evaluation, output).
-	refWant [][]int64 // per rank: remote gids this rank references
-	refSend [][]int32 // per rank: local node indices to send on request
+	// refAskers/refOwners persist the sparse neighborhood — the ranks
+	// that reference this rank's nodes (refSend non-empty) and the ranks
+	// this rank references nodes from (refWant non-empty) — so
+	// GatherReferenced exchanges messages only with actual neighbors.
+	refWant   [][]int64 // per rank: remote gids this rank references
+	refSend   [][]int32 // per rank: local node indices to send on request
+	refAskers []int
+	refOwners []int
 
 	// NumGhostLeaves records the size of the ghost element layer.
 	NumGhostLeaves int
@@ -278,45 +284,48 @@ func Extract(t *octree.Tree) *Mesh {
 			askPos[o] = append(askPos[o], pos)
 		}
 	}
-	out := make([]any, p)
-	nb := make([]int, p)
+	// Route the position queries to their owners (sparse: only actual
+	// neighbor ranks exchange messages), answer them, and persist the
+	// neighborhood for GatherReferenced.
+	var askOut []any
+	var askNB []int
 	for j := range askPos {
-		out[j] = askPos[j]
-		nb[j] = 12 * len(askPos[j])
-	}
-	in := r.Alltoall(out, nb)
-	resp := make([]any, p)
-	m.refSend = make([][]int32, p)
-	for i, d := range in {
-		if i == r.ID() {
+		if len(askPos[j]) == 0 {
 			continue
 		}
+		m.refOwners = append(m.refOwners, j)
+		askOut = append(askOut, askPos[j])
+		askNB = append(askNB, 12*len(askPos[j]))
+	}
+	froms, asks := r.AlltoallvSparse(m.refOwners, askOut, askNB)
+	m.refSend = make([][]int32, p)
+	m.refAskers = froms
+	resp := make([]any, len(froms))
+	respNB := make([]int, len(froms))
+	for i, d := range asks {
 		asked := d.([][3]uint32)
 		gids := make([]int64, len(asked))
 		send := make([]int32, len(asked))
 		for k, pos := range asked {
 			li, ok := m.posToLocal[posKey(pos)]
 			if !ok {
-				panic(fmt.Sprintf("mesh: rank %d asked for position %v not owned by rank %d", i, pos, r.ID()))
+				panic(fmt.Sprintf("mesh: rank %d asked for position %v not owned by rank %d", froms[i], pos, r.ID()))
 			}
 			gids[k] = m.Offset + int64(li)
 			send[k] = li
 		}
 		resp[i] = gids
-		m.refSend[i] = send
-		nb[i] = 8 * len(gids)
+		respNB[i] = 8 * len(gids)
+		m.refSend[froms[i]] = send
 	}
-	back := r.Alltoall(resp, nb)
+	back := r.NeighborExchange(m.refAskers, resp, respNB, m.refOwners)
 	m.refWant = make([][]int64, p)
-	for i := range back {
-		if i == r.ID() {
-			continue
+	for k, o := range m.refOwners {
+		gids := back[k].([]int64)
+		for i, g := range gids {
+			m.gidCache[posKey(askPos[o][i])] = g
 		}
-		gids, _ := back[i].([]int64)
-		for k, g := range gids {
-			m.gidCache[posKey(askPos[i][k])] = g
-		}
-		m.refWant[i] = gids
+		m.refWant[o] = gids
 	}
 
 	// Fill final corner tables with resolved gids.
@@ -405,18 +414,20 @@ func exchangeGhosts(t *octree.Tree) []morton.Octant {
 			}
 		}
 	}
-	out := make([]any, p)
-	nb := make([]int, p)
+	var dests []int
+	var out []any
+	var nb []int
 	for j := range byRank {
-		out[j] = byRank[j]
-		nb[j] = 16 * len(byRank[j])
-	}
-	in := r.Alltoall(out, nb)
-	var ghosts []morton.Octant
-	for i, d := range in {
-		if i == r.ID() {
+		if len(byRank[j]) == 0 {
 			continue
 		}
+		dests = append(dests, j)
+		out = append(out, byRank[j])
+		nb = append(nb, 16*len(byRank[j]))
+	}
+	_, in := r.AlltoallvSparse(dests, out, nb)
+	var ghosts []morton.Octant
+	for _, d := range in {
 		ghosts = append(ghosts, d.([]morton.Octant)...)
 	}
 	return ghosts
@@ -449,34 +460,27 @@ func (m *Mesh) GID(p [3]uint32) int64 {
 // be laid out over the mesh nodes.
 func (m *Mesh) GatherReferenced(u *la.Vec) map[int64]float64 {
 	r := m.Rank
-	p := r.Size()
 	vals := make(map[int64]float64, len(m.gidCache))
 	for i := 0; i < m.NumOwned; i++ {
 		vals[m.Offset+int64(i)] = u.Data[i]
 	}
-	out := make([]any, p)
-	nb := make([]int, p)
-	for j := range m.refSend {
-		if j == r.ID() || m.refSend[j] == nil {
-			out[j] = []float64(nil)
-			continue
+	out := make([]any, len(m.refAskers))
+	nb := make([]int, len(m.refAskers))
+	for k, j := range m.refAskers {
+		v := la.GetBuf(len(m.refSend[j]))
+		for n, li := range m.refSend[j] {
+			v[n] = u.Data[li]
 		}
-		v := make([]float64, len(m.refSend[j]))
-		for k, li := range m.refSend[j] {
-			v[k] = u.Data[li]
-		}
-		out[j] = v
-		nb[j] = 8 * len(v)
+		out[k] = v
+		nb[k] = 8 * len(v)
 	}
-	in := r.Alltoall(out, nb)
-	for i, d := range in {
-		if i == r.ID() {
-			continue
+	in := r.NeighborExchange(m.refAskers, out, nb, m.refOwners)
+	for k, o := range m.refOwners {
+		got := in[k].([]float64)
+		for n, g := range m.refWant[o] {
+			vals[g] = got[n]
 		}
-		got, _ := d.([]float64)
-		for k, g := range m.refWant[i] {
-			vals[g] = got[k]
-		}
+		la.PutBuf(got)
 	}
 	return vals
 }

@@ -407,18 +407,20 @@ func (t *Tree) exchangeRequirements(reqs []morton.Octant) []morton.Octant {
 			}
 		}
 	}
-	out := make([]any, p)
-	nb := make([]int, p)
+	var dests []int
+	var out []any
+	var nb []int
 	for j := range byRank {
-		out[j] = byRank[j]
-		nb[j] = octantBytes * len(byRank[j])
-	}
-	in := t.rank.Alltoall(out, nb)
-	var got []morton.Octant
-	for i, d := range in {
-		if i == t.rank.ID() {
+		if len(byRank[j]) == 0 {
 			continue
 		}
+		dests = append(dests, j)
+		out = append(out, byRank[j])
+		nb = append(nb, octantBytes*len(byRank[j]))
+	}
+	_, in := t.rank.AlltoallvSparse(dests, out, nb)
+	var got []morton.Octant
+	for _, d := range in {
 		got = append(got, d.([]morton.Octant)...)
 	}
 	return got
@@ -443,16 +445,21 @@ func (t *Tree) Partition() []int {
 		dest[i] = int(d)
 		byRank[d] = append(byRank[d], t.leaves[i])
 	}
-	out := make([]any, p)
-	nb := make([]int, p)
+	var sendTo []int
+	var out []any
+	var nb []int
 	for j := range byRank {
-		out[j] = byRank[j]
-		nb[j] = octantBytes * len(byRank[j])
+		if len(byRank[j]) == 0 {
+			continue
+		}
+		sendTo = append(sendTo, j)
+		out = append(out, byRank[j])
+		nb = append(nb, octantBytes*len(byRank[j]))
 	}
-	in := t.rank.Alltoall(out, nb)
+	_, in := t.rank.AlltoallvSparse(sendTo, out, nb)
 	t.leaves = t.leaves[:0]
-	for i := int64(0); i < p; i++ {
-		t.leaves = append(t.leaves, in[i].([]morton.Octant)...)
+	for _, d := range in {
+		t.leaves = append(t.leaves, d.([]morton.Octant)...)
 	}
 	// Contributions arrive ordered by source rank, and source segments
 	// are ordered along the curve, so the concatenation is sorted.

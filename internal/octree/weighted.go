@@ -38,16 +38,21 @@ func (t *Tree) PartitionWeighted(weights []float64) []int {
 		byRank[d] = append(byRank[d], t.leaves[i])
 		run += weights[i]
 	}
-	out := make([]any, p)
-	nb := make([]int, p)
+	var sendTo []int
+	var out []any
+	var nb []int
 	for j := range byRank {
-		out[j] = byRank[j]
-		nb[j] = octantBytes * len(byRank[j])
+		if len(byRank[j]) == 0 {
+			continue
+		}
+		sendTo = append(sendTo, j)
+		out = append(out, byRank[j])
+		nb = append(nb, octantBytes*len(byRank[j]))
 	}
-	in := t.rank.Alltoall(out, nb)
+	_, in := t.rank.AlltoallvSparse(sendTo, out, nb)
 	t.leaves = t.leaves[:0]
-	for i := int64(0); i < p; i++ {
-		t.leaves = append(t.leaves, in[i].([]morton.Octant)...)
+	for _, d := range in {
+		t.leaves = append(t.leaves, d.([]morton.Octant)...)
 	}
 	t.updateStarts()
 	return dest

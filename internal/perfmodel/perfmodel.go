@@ -15,7 +15,11 @@
 //     to measured runs at small rank counts, then Predict extrapolates.
 package perfmodel
 
-import "math"
+import (
+	"math"
+
+	"rhea/internal/sim"
+)
 
 // Machine holds per-core and network constants.
 type Machine struct {
@@ -43,7 +47,12 @@ type RankWork struct {
 	Msgs      int     // point-to-point messages sent
 	Bytes     int64   // point-to-point payload bytes
 	CollCalls int     // collective operations participated in
-	CollBytes int64   // bytes contributed to collectives
+	CollBytes int64   // bytes contributed to (or, with CollRounds set, transported inside) collectives
+	// CollRounds, when non-zero, is the measured number of collective
+	// tree-transport rounds this rank executed (the sim runtime counts
+	// them exactly); Time then charges the measured rounds instead of the
+	// modeled log2(p) depth per collective.
+	CollRounds int
 }
 
 // Add accumulates another ledger.
@@ -53,19 +62,42 @@ func (w *RankWork) Add(o RankWork) {
 	w.Bytes += o.Bytes
 	w.CollCalls += o.CollCalls
 	w.CollBytes += o.CollBytes
+	w.CollRounds += o.CollRounds
+}
+
+// FromStats converts a rank's measured communication statistics into a
+// ledger: user point-to-point traffic becomes Msgs/Bytes, and the
+// collectives carry their exactly counted tree rounds and transport
+// bytes, so Time charges what the tree algorithms actually did rather
+// than an assumed topology.
+func FromStats(s sim.Stats, flops float64) RankWork {
+	return RankWork{
+		Flops:      flops,
+		Msgs:       s.UserMsgs,
+		Bytes:      s.UserBytes,
+		CollCalls:  s.CollectiveCalls,
+		CollBytes:  s.CollTransportBytes,
+		CollRounds: s.CollRounds,
+	}
 }
 
 // Time models the wall-clock seconds this rank's ledger costs on the
-// machine in a world of p cores. Collectives are charged as
-// log2(p)-depth trees.
+// machine in a world of p cores. With a measured CollRounds the
+// collectives are charged exactly (one latency per tree round plus the
+// transported bytes); otherwise they are modeled as log2(p)-depth trees.
 func (m Machine) Time(w RankWork, p int) float64 {
 	comp := w.Flops / m.FlopRate
 	ptp := float64(w.Msgs)*m.Latency + float64(w.Bytes)*m.InvBandwidth
-	depth := math.Ceil(math.Log2(float64(p)))
-	if depth < 1 {
-		depth = 1
+	var coll float64
+	if w.CollRounds > 0 {
+		coll = float64(w.CollRounds)*m.Latency + float64(w.CollBytes)*m.InvBandwidth
+	} else {
+		depth := math.Ceil(math.Log2(float64(p)))
+		if depth < 1 {
+			depth = 1
+		}
+		coll = float64(w.CollCalls)*m.Latency*depth + float64(w.CollBytes)*m.InvBandwidth*depth
 	}
-	coll := float64(w.CollCalls)*m.Latency*depth + float64(w.CollBytes)*m.InvBandwidth*depth
 	return comp + ptp + coll
 }
 

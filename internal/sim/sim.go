@@ -8,25 +8,49 @@
 // The programming model is SPMD: World.Run launches P rank functions that
 // communicate through point-to-point Send/Recv with (source, tag)
 // matching, and through collectives (Barrier, Allgather, Allreduce,
-// Alltoallv, ExScan) that every rank must call in the same order.
+// ExScan, Bcast, AlltoallvSparse, NeighborExchange) that every rank must
+// call in the same order.
+//
+// Collectives run over point-to-point tree transport with O(log2 P)
+// rounds per rank: Allreduce/Allgather/ExScan/Barrier use a Bruck
+// concatenation (exactly ceil(log2 P) rounds on every rank, any P), Bcast
+// and the vector reductions use binomial trees. Every floating-point
+// reduction folds the per-rank contributions locally in rank order, so
+// results are bit-identical across repeated runs and independent of
+// goroutine scheduling or message arrival order — and identical to a
+// serial left-to-right fold over ranks 0..P-1.
+//
+// Irregular exchanges use AlltoallvSparse (a dynamic-sparse handshake —
+// one int64-vector tree reduction of send counts — followed by payload
+// transport only between actual communication partners) or, when both
+// sides of the pattern are known from a persisted plan, NeighborExchange
+// (no handshake at all). Per-rank message counts for these are
+// O(communication partners), never O(P).
 package sim
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
-// Stats records the communication activity of one rank. Collectives are
-// implemented over point-to-point messages via rank 0; the model fields
-// (CollectiveCalls) let the performance model charge them as
-// log2(P)-depth tree operations instead.
+// Stats records the communication activity of one rank. Transport is
+// split cleanly: user point-to-point traffic (Send plus the payloads of
+// sparse/neighbor exchanges) versus the tree-transport messages that
+// implement collectives.
 type Stats struct {
-	MsgsSent        int   // point-to-point messages sent (user + collective transport)
-	BytesSent       int64 // bytes in those messages
-	UserMsgs        int   // point-to-point messages from user code only
-	UserBytes       int64 // bytes in user point-to-point messages
+	MsgsSent  int   // all point-to-point transport messages (user + collective tree)
+	BytesSent int64 // bytes in all transport messages
+
+	UserMsgs  int   // user point-to-point messages (Send, sparse/neighbor payloads)
+	UserBytes int64 // bytes in user point-to-point messages
+
+	CollMsgs           int   // tree-transport messages sent inside collectives
+	CollTransportBytes int64 // bytes in collective tree-transport messages
+
 	CollectiveCalls int   // number of collective operations participated in
-	CollectiveBytes int64 // bytes contributed to collectives
+	CollectiveBytes int64 // bytes this rank contributed to collectives
+	CollRounds      int   // communication rounds spent inside collectives
 }
 
 type message struct {
@@ -35,24 +59,87 @@ type message struct {
 	nbytes    int64
 }
 
-// mailbox is an unbounded, (source,tag)-matched message queue.
+// mbkey identifies one (source, tag) message stream.
+type mbkey struct{ from, tag int }
+
+// msgq is one stream's FIFO queue; head indexing keeps pop O(1) without
+// shifting the slice.
+type msgq struct {
+	msgs []message
+	head int
+}
+
+func (q *msgq) empty() bool    { return q.head == len(q.msgs) }
+func (q *msgq) push(m message) { q.msgs = append(q.msgs, m) }
+func (q *msgq) pop() message {
+	m := q.msgs[q.head]
+	q.msgs[q.head] = message{}
+	q.head++
+	if q.head == len(q.msgs) {
+		q.msgs = q.msgs[:0]
+		q.head = 0
+	}
+	return m
+}
+
+// mailbox is a (source,tag)-keyed message store with a single consumer
+// (the owning rank's goroutine). Each key holds its own FIFO queue, so
+// matching costs O(1) in the number of pending messages — not a linear
+// scan — and the consumer is woken only when a message it is actually
+// waiting for arrives.
 type mailbox struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
-	queue []message
+	byKey map[mbkey]*msgq
+	ready map[int]map[int]struct{} // tag -> sources with pending messages
+
+	waiting  bool // consumer is blocked in take/takeAny
+	wantAny  bool
+	wantFrom int
+	wantTag  int
 }
 
 func newMailbox() *mailbox {
-	mb := &mailbox{}
+	mb := &mailbox{
+		byKey: make(map[mbkey]*msgq),
+		ready: make(map[int]map[int]struct{}),
+	}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
 }
 
 func (mb *mailbox) put(m message) {
 	mb.mu.Lock()
-	mb.queue = append(mb.queue, m)
+	k := mbkey{m.from, m.tag}
+	q := mb.byKey[k]
+	if q == nil {
+		q = &msgq{}
+		mb.byKey[k] = q
+	}
+	q.push(m)
+	set := mb.ready[m.tag]
+	if set == nil {
+		set = make(map[int]struct{})
+		mb.ready[m.tag] = set
+	}
+	set[m.from] = struct{}{}
+	// Targeted wakeup: signal only if the consumer waits for this stream.
+	wake := mb.waiting && m.tag == mb.wantTag && (mb.wantAny || m.from == mb.wantFrom)
 	mb.mu.Unlock()
-	mb.cond.Broadcast()
+	if wake {
+		mb.cond.Signal()
+	}
+}
+
+// drop removes the bookkeeping for a drained stream.
+func (mb *mailbox) drop(k mbkey) {
+	delete(mb.byKey, k)
+	if set := mb.ready[k.tag]; set != nil {
+		delete(set, k.from)
+		if len(set) == 0 {
+			delete(mb.ready, k.tag)
+		}
+	}
 }
 
 // take blocks until a message with matching source and tag is available
@@ -60,14 +147,44 @@ func (mb *mailbox) put(m message) {
 func (mb *mailbox) take(from, tag int) message {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
+	k := mbkey{from, tag}
 	for {
-		for i, m := range mb.queue {
-			if m.from == from && m.tag == tag {
-				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
-				return m
+		if q := mb.byKey[k]; q != nil && !q.empty() {
+			m := q.pop()
+			if q.empty() {
+				mb.drop(k)
 			}
+			return m
 		}
+		mb.waiting, mb.wantAny, mb.wantFrom, mb.wantTag = true, false, from, tag
 		mb.cond.Wait()
+		mb.waiting = false
+	}
+}
+
+// takeAny blocks until a message with the given tag is available from any
+// source and removes it (FIFO within each source stream).
+func (mb *mailbox) takeAny(tag int) message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if set := mb.ready[tag]; len(set) > 0 {
+			var from int
+			for f := range set {
+				from = f
+				break
+			}
+			k := mbkey{from, tag}
+			q := mb.byKey[k]
+			m := q.pop()
+			if q.empty() {
+				mb.drop(k)
+			}
+			return m
+		}
+		mb.waiting, mb.wantAny, mb.wantTag = true, true, tag
+		mb.cond.Wait()
+		mb.waiting = false
 	}
 }
 
@@ -141,6 +258,19 @@ func (r *Rank) Stats() Stats {
 	return w.stats[r.id]
 }
 
+// ceilLog2 returns ceil(log2(p)) for p >= 1.
+func ceilLog2(p int) int {
+	d := 0
+	for n := 1; n < p; n <<= 1 {
+		d++
+	}
+	return d
+}
+
+// CeilLog2 exposes the collective tree depth ceil(log2(p)); tests assert
+// per-rank collective rounds against it.
+func CeilLog2(p int) int { return ceilLog2(p) }
+
 // Tags at or above collTagBase are reserved for collective transport.
 const collTagBase = 1 << 24
 
@@ -150,21 +280,34 @@ func (r *Rank) Send(to, tag int, data any, nbytes int) {
 	if tag >= collTagBase {
 		panic("sim: user tag collides with collective tag space")
 	}
-	r.send(to, tag, data, int64(nbytes))
+	r.sendUser(to, tag, data, int64(nbytes))
+}
+
+// transport delivers one message and records it under a single stats
+// lock acquisition; coll selects the collective-tree vs user category.
+func (r *Rank) transport(to, tag int, data any, nbytes int64, coll bool) {
+	r.world.boxes[to].put(message{from: r.id, tag: tag, data: data, nbytes: nbytes})
 	w := r.world
 	w.statm[r.id].Lock()
-	w.stats[r.id].UserMsgs++
-	w.stats[r.id].UserBytes += int64(nbytes)
+	s := &w.stats[r.id]
+	s.MsgsSent++
+	s.BytesSent += nbytes
+	if coll {
+		s.CollMsgs++
+		s.CollTransportBytes += nbytes
+	} else {
+		s.UserMsgs++
+		s.UserBytes += nbytes
+	}
 	w.statm[r.id].Unlock()
 }
 
-func (r *Rank) send(to, tag int, data any, nbytes int64) {
-	w := r.world
-	w.boxes[to].put(message{from: r.id, tag: tag, data: data, nbytes: nbytes})
-	w.statm[r.id].Lock()
-	w.stats[r.id].MsgsSent++
-	w.stats[r.id].BytesSent += nbytes
-	w.statm[r.id].Unlock()
+func (r *Rank) sendUser(to, tag int, data any, nbytes int64) {
+	r.transport(to, tag, data, nbytes, false)
+}
+
+func (r *Rank) sendColl(to, tag int, data any, nbytes int64) {
+	r.transport(to, tag, data, nbytes, true)
 }
 
 // Recv blocks until a message from rank `from` with the given tag arrives
@@ -193,47 +336,168 @@ func (r *Rank) countCollective(nbytes int64) {
 	w.statm[r.id].Unlock()
 }
 
-// Barrier blocks until every rank has entered the barrier.
+func (r *Rank) bumpRounds(n int) {
+	w := r.world
+	w.statm[r.id].Lock()
+	w.stats[r.id].CollRounds += n
+	w.statm[r.id].Unlock()
+}
+
+// bruckMsg is one round's payload in the Bruck concatenation: a window of
+// per-rank blocks with their modeled sizes.
+type bruckMsg struct {
+	blocks []any
+	sizes  []int64
+}
+
+// bruckAllgather concatenates one payload per rank in exactly
+// ceil(log2 P) rounds on every rank (any P, not just powers of two) and
+// returns the payloads in rank order. Round k: send the first
+// min(2^k, P-2^k) accumulated blocks to rank (id-2^k), receive the same
+// from rank (id+2^k). After the rounds, block j holds rank (id+j)%P's
+// payload; a local rotation restores rank order.
+func (r *Rank) bruckAllgather(tag int, data any, nbytes int64) []any {
+	p := r.world.size
+	if p == 1 {
+		return []any{data}
+	}
+	blocks := make([]any, 1, p)
+	sizes := make([]int64, 1, p)
+	blocks[0], sizes[0] = data, nbytes
+	for dist := 1; dist < p; dist *= 2 {
+		cnt := dist
+		if rest := p - len(blocks); rest < cnt {
+			cnt = rest
+		}
+		to := (r.id - dist + p) % p
+		from := (r.id + dist) % p
+		var nb int64
+		for _, s := range sizes[:cnt] {
+			nb += s
+		}
+		r.sendColl(to, tag, bruckMsg{blocks[:cnt:cnt], sizes[:cnt:cnt]}, nb)
+		in := r.recvColl(from, tag).(bruckMsg)
+		blocks = append(blocks, in.blocks...)
+		sizes = append(sizes, in.sizes...)
+		r.bumpRounds(1)
+	}
+	out := make([]any, p)
+	for j, b := range blocks {
+		out[(r.id+j)%p] = b
+	}
+	return out
+}
+
+// treeBundle carries rank-stamped payloads up the binomial gather tree.
+type treeBundle struct {
+	ranks []int32
+	data  []any
+	size  int64
+}
+
+// gatherTree funnels every rank's payload to rank 0 up a binomial tree:
+// each non-root rank sends exactly once, rank 0 receives ceil(log2 P)
+// bundles. Returns the rank-indexed payloads on rank 0, nil elsewhere.
+func (r *Rank) gatherTree(tag int, data any, nbytes int64) []any {
+	p := r.world.size
+	bundle := treeBundle{ranks: []int32{int32(r.id)}, data: []any{data}, size: nbytes}
+	for mask := 1; mask < p; mask <<= 1 {
+		if r.id&mask != 0 {
+			r.sendColl(r.id-mask, tag, bundle, bundle.size)
+			r.bumpRounds(1)
+			return nil
+		}
+		if partner := r.id + mask; partner < p {
+			in := r.recvColl(partner, tag).(treeBundle)
+			bundle.ranks = append(bundle.ranks, in.ranks...)
+			bundle.data = append(bundle.data, in.data...)
+			bundle.size += in.size
+			r.bumpRounds(1)
+		}
+	}
+	out := make([]any, p)
+	for j, rk := range bundle.ranks {
+		out[rk] = bundle.data[j]
+	}
+	return out
+}
+
+// bcastTree distributes root's payload down a binomial tree; every rank
+// spends at most ceil(log2 P) rounds. All ranks must pass the payload's
+// modeled size (forwarding ranks are charged for their tree sends).
+func (r *Rank) bcastTree(root, tag int, data any, nbytes int64) any {
+	p := r.world.size
+	if p == 1 {
+		return data
+	}
+	rel := (r.id - root + p) % p
+	mask := 1
+	for mask < p {
+		if rel&mask != 0 {
+			parent := (rel - mask + root) % p
+			data = r.recvColl(parent, tag)
+			r.bumpRounds(1)
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if rel+mask < p {
+			child := (rel + mask + root) % p
+			r.sendColl(child, tag, data, nbytes)
+			r.bumpRounds(1)
+		}
+	}
+	return data
+}
+
+// reduceBcastInt64Vec elementwise-sums one int64 vector per rank
+// (binomial reduce to rank 0, then binomial broadcast); exact, so the
+// combine order is irrelevant.
+func (r *Rank) reduceBcastInt64Vec(tagUp, tagDown int, v []int64) []int64 {
+	p := r.world.size
+	if p == 1 {
+		return v
+	}
+	acc := v
+	owned := false
+	for mask := 1; mask < p; mask <<= 1 {
+		if r.id&mask != 0 {
+			r.sendColl(r.id-mask, tagUp, acc, int64(8*len(acc)))
+			r.bumpRounds(1)
+			acc = nil
+			break
+		}
+		if partner := r.id + mask; partner < p {
+			in := r.recvColl(partner, tagUp).([]int64)
+			if !owned {
+				acc = append([]int64(nil), acc...)
+				owned = true
+			}
+			for j, x := range in {
+				acc[j] += x
+			}
+			r.bumpRounds(1)
+		}
+	}
+	return r.bcastTree(0, tagDown, acc, int64(8*len(v))).([]int64)
+}
+
+// Barrier blocks until every rank has entered the barrier
+// (ceil(log2 P)-round Bruck dissemination).
 func (r *Rank) Barrier() {
 	tag := r.nextCollTag()
 	r.countCollective(0)
-	if r.id == 0 {
-		for i := 1; i < r.Size(); i++ {
-			r.recvColl(i, tag)
-		}
-		for i := 1; i < r.Size(); i++ {
-			r.send(i, tag, nil, 0)
-		}
-	} else {
-		r.send(0, tag, nil, 0)
-		r.recvColl(0, tag)
-	}
+	r.bruckAllgather(tag, nil, 0)
 }
 
-// gatherRoot collects one payload per rank at rank 0 and returns the
-// slice (indexed by rank) on rank 0, nil elsewhere.
-func (r *Rank) gatherRoot(tag int, data any, nbytes int64) []any {
-	if r.id == 0 {
-		all := make([]any, r.Size())
-		all[0] = data
-		for i := 1; i < r.Size(); i++ {
-			all[i] = r.recvColl(i, tag)
-		}
-		return all
-	}
-	r.send(0, tag, data, nbytes)
-	return nil
-}
-
-// bcastRoot distributes rank 0's payload to every rank and returns it.
-func (r *Rank) bcastRoot(tag int, data any, nbytes int64) any {
-	if r.id == 0 {
-		for i := 1; i < r.Size(); i++ {
-			r.send(i, tag, data, nbytes)
-		}
-		return data
-	}
-	return r.recvColl(0, tag)
+// Allgather gathers one payload per rank and returns them rank-indexed on
+// every rank (Bruck concatenation, ceil(log2 P) rounds). Payloads are
+// shared by reference across ranks and must not be mutated afterwards.
+func (r *Rank) Allgather(data any, nbytes int) []any {
+	tag := r.nextCollTag()
+	r.countCollective(int64(nbytes))
+	return r.bruckAllgather(tag, data, int64(nbytes))
 }
 
 // AllgatherInt64 gathers one int64 from every rank; the result is indexed
@@ -242,18 +506,12 @@ func (r *Rank) bcastRoot(tag int, data any, nbytes int64) any {
 func (r *Rank) AllgatherInt64(v int64) []int64 {
 	tag := r.nextCollTag()
 	r.countCollective(8)
-	all := r.gatherRoot(tag, v, 8)
-	var out []int64
-	if r.id == 0 {
-		out = make([]int64, r.Size())
-		for i, a := range all {
-			out[i] = a.(int64)
-		}
+	all := r.bruckAllgather(tag, v, 8)
+	out := make([]int64, len(all))
+	for i, a := range all {
+		out[i] = a.(int64)
 	}
-	res := r.bcastRoot(tag, out, int64(8*r.Size())).([]int64)
-	cp := make([]int64, len(res))
-	copy(cp, res)
-	return cp
+	return out
 }
 
 // AllgatherUint64 gathers one uint64 from every rank.
@@ -287,41 +545,44 @@ var (
 )
 
 // Allreduce combines one float64 per rank with op and returns the result
-// on every rank.
+// on every rank. The contributions travel a ceil(log2 P)-round Bruck
+// allgather and every rank folds them locally in rank order, so the
+// result is bit-identical across runs, independent of arrival order, and
+// equal to a serial left fold over ranks 0..P-1.
 func (r *Rank) Allreduce(v float64, op ReduceOp) float64 {
 	tag := r.nextCollTag()
 	r.countCollective(8)
-	all := r.gatherRoot(tag, v, 8)
-	var acc float64
-	if r.id == 0 {
-		acc = all[0].(float64)
-		for i := 1; i < len(all); i++ {
-			acc = op(acc, all[i].(float64))
-		}
+	all := r.bruckAllgather(tag, v, 8)
+	acc := all[0].(float64)
+	for i := 1; i < len(all); i++ {
+		acc = op(acc, all[i].(float64))
 	}
-	return r.bcastRoot(tag, acc, 8).(float64)
+	return acc
 }
 
 // AllreduceInt64 combines one int64 per rank by summation.
 func (r *Rank) AllreduceInt64(v int64) int64 {
 	tag := r.nextCollTag()
 	r.countCollective(8)
-	all := r.gatherRoot(tag, v, 8)
+	all := r.bruckAllgather(tag, v, 8)
 	var acc int64
-	if r.id == 0 {
-		for _, a := range all {
-			acc += a.(int64)
-		}
+	for _, a := range all {
+		acc += a.(int64)
 	}
-	return r.bcastRoot(tag, acc, 8).(int64)
+	return acc
 }
 
 // AllreduceVec sums float64 vectors elementwise across ranks. All ranks
 // must pass slices of the same length; every rank receives the total.
+// Vectors are gathered raw up a binomial tree and folded once at rank 0
+// in rank order (deterministic, bit-identical across runs), then the
+// result is tree-broadcast — total traffic O(P·n) rather than the
+// O(P²·n) of an allgather-everywhere.
 func (r *Rank) AllreduceVec(v []float64) []float64 {
 	tag := r.nextCollTag()
-	r.countCollective(int64(8 * len(v)))
-	all := r.gatherRoot(tag, v, int64(8*len(v)))
+	nb := int64(8 * len(v))
+	r.countCollective(nb)
+	all := r.gatherTree(tag, v, nb)
 	var acc []float64
 	if r.id == 0 {
 		acc = make([]float64, len(v))
@@ -332,7 +593,7 @@ func (r *Rank) AllreduceVec(v []float64) []float64 {
 			}
 		}
 	}
-	res := r.bcastRoot(tag, acc, int64(8*len(v))).([]float64)
+	res := r.bcastTree(0, tag, acc, nb).([]float64)
 	out := make([]float64, len(res))
 	copy(out, res)
 	return out
@@ -343,59 +604,47 @@ func (r *Rank) AllreduceVec(v []float64) []float64 {
 func (r *Rank) ExScan(v int64) int64 {
 	tag := r.nextCollTag()
 	r.countCollective(8)
-	all := r.gatherRoot(tag, v, 8)
-	var pre []int64
-	if r.id == 0 {
-		pre = make([]int64, r.Size())
-		var run int64
-		for i := 0; i < r.Size(); i++ {
-			pre[i] = run
-			run += all[i].(int64)
-		}
+	all := r.bruckAllgather(tag, v, 8)
+	var run int64
+	for i := 0; i < r.id; i++ {
+		run += all[i].(int64)
 	}
-	res := r.bcastRoot(tag, pre, int64(8*r.Size())).([]int64)
-	return res[r.id]
+	return run
 }
 
 // ExScanFloat returns the exclusive prefix sum of v across ranks for
-// float64 values (0 on rank 0).
+// float64 values (0 on rank 0); the fold runs in rank order, so results
+// are bit-identical across runs.
 func (r *Rank) ExScanFloat(v float64) float64 {
 	tag := r.nextCollTag()
 	r.countCollective(8)
-	all := r.gatherRoot(tag, v, 8)
-	var pre []float64
-	if r.id == 0 {
-		pre = make([]float64, r.Size())
-		var run float64
-		for i := 0; i < r.Size(); i++ {
-			pre[i] = run
-			run += all[i].(float64)
-		}
+	all := r.bruckAllgather(tag, v, 8)
+	var run float64
+	for i := 0; i < r.id; i++ {
+		run += all[i].(float64)
 	}
-	res := r.bcastRoot(tag, pre, int64(8*r.Size())).([]float64)
-	return res[r.id]
+	return run
 }
 
-// Bcast distributes root's payload to every rank. nbytes is charged only
-// on the root.
+// Bcast distributes root's payload to every rank down a binomial tree.
+// nbytes is the modeled payload size; pass it on every rank (forwarding
+// ranks are charged for their tree sends).
 func (r *Rank) Bcast(root int, data any, nbytes int) any {
 	tag := r.nextCollTag()
 	r.countCollective(int64(nbytes))
-	if r.id == root {
-		for i := 0; i < r.Size(); i++ {
-			if i != root {
-				r.send(i, tag, data, int64(nbytes))
-			}
-		}
-		return data
-	}
-	return r.recvColl(root, tag)
+	return r.bcastTree(root, tag, data, int64(nbytes))
 }
 
 // Alltoall exchanges one payload between every pair of ranks: out[j] is
 // sent to rank j, and the returned slice holds in[i] received from rank i.
 // nbytes[j] is the modeled size of out[j]. out[r.ID()] is returned in
 // place without transport.
+//
+// This is the dense O(P) messages-per-rank exchange; production call
+// sites use AlltoallvSparse or NeighborExchange instead, which only touch
+// actual communication partners. Alltoall remains as the reference dense
+// pattern (and as the baseline the sparse-exchange tests compare message
+// counts against).
 func (r *Rank) Alltoall(out []any, nbytes []int) []any {
 	if len(out) != r.Size() {
 		panic("sim: Alltoall payload count != world size")
@@ -411,7 +660,7 @@ func (r *Rank) Alltoall(out []any, nbytes []int) []any {
 			nb = int64(nbytes[j])
 		}
 		total += nb
-		r.send(j, tag, d, nb)
+		r.sendColl(j, tag, d, nb)
 	}
 	r.countCollective(total)
 	in := make([]any, r.Size())
@@ -420,6 +669,106 @@ func (r *Rank) Alltoall(out []any, nbytes []int) []any {
 		if i != r.id {
 			in[i] = r.recvColl(i, tag)
 		}
+	}
+	return in
+}
+
+// AlltoallvSparse exchanges payloads with only the ranks actually
+// addressed (collective; every rank must participate, even with nothing
+// to send). dests[k] names the destination of payloads[k] and nbytes[k]
+// its modeled wire size (nbytes may be nil).
+//
+// The dynamic-sparse handshake — one int64-vector tree reduction of
+// per-destination send counts — tells each rank how many messages to
+// expect; payload transport then runs only between actual partners, so
+// the per-rank message count is O(communication partners), not O(P).
+//
+// Returns the received payloads with their source ranks, sorted by
+// source (payloads from the same source stay in send order). Payloads
+// addressed to the sending rank itself are returned locally without
+// transport. For a fixed recurring pattern, build the plan once and use
+// NeighborExchange instead to skip the handshake entirely.
+func (r *Rank) AlltoallvSparse(dests []int, payloads []any, nbytes []int) ([]int, []any) {
+	p := r.world.size
+	tagUp, tagDown, tagPay := r.nextCollTag(), r.nextCollTag(), r.nextCollTag()
+	counts := make([]int64, p)
+	var selfIdx []int
+	for k, d := range dests {
+		if d == r.id {
+			selfIdx = append(selfIdx, k)
+			continue
+		}
+		counts[d]++
+	}
+	r.countCollective(int64(8 * p))
+	totals := r.reduceBcastInt64Vec(tagUp, tagDown, counts)
+	for k, d := range dests {
+		if d == r.id {
+			continue
+		}
+		nb := int64(0)
+		if nbytes != nil {
+			nb = int64(nbytes[k])
+		}
+		r.sendUser(d, tagPay, payloads[k], nb)
+	}
+	nIn := int(totals[r.id])
+	type inMsg struct {
+		from int
+		data any
+	}
+	ins := make([]inMsg, 0, nIn+len(selfIdx))
+	for i := 0; i < nIn; i++ {
+		m := r.world.boxes[r.id].takeAny(tagPay)
+		ins = append(ins, inMsg{m.from, m.data})
+	}
+	for _, k := range selfIdx {
+		ins = append(ins, inMsg{r.id, payloads[k]})
+	}
+	sort.SliceStable(ins, func(i, j int) bool { return ins[i].from < ins[j].from })
+	froms := make([]int, len(ins))
+	datas := make([]any, len(ins))
+	for i, m := range ins {
+		froms[i] = m.from
+		datas[i] = m.data
+	}
+	return froms, datas
+}
+
+// NeighborExchange sends payloads[k] to sendTo[k] and receives exactly
+// one payload from every rank in recvFrom, returned in recvFrom order.
+// Both sides of the pattern must agree (every rank in someone's sendTo
+// lists that someone in its recvFrom), and all ranks must call it at the
+// same point in their collective sequence — the plan is typically built
+// once via AlltoallvSparse and then reused. No handshake traffic is
+// spent: the per-rank cost is exactly len(sendTo) sends and
+// len(recvFrom) targeted receives. A self entry in sendTo is delivered
+// locally to the matching self entry in recvFrom.
+func (r *Rank) NeighborExchange(sendTo []int, payloads []any, nbytes []int, recvFrom []int) []any {
+	tag := r.nextCollTag()
+	var selfs []any // self payloads, consumed in send order like a FIFO stream
+	for k, to := range sendTo {
+		if to == r.id {
+			selfs = append(selfs, payloads[k])
+			continue
+		}
+		nb := int64(0)
+		if nbytes != nil {
+			nb = int64(nbytes[k])
+		}
+		r.sendUser(to, tag, payloads[k], nb)
+	}
+	in := make([]any, len(recvFrom))
+	for k, from := range recvFrom {
+		if from == r.id {
+			if len(selfs) == 0 {
+				panic("sim: NeighborExchange recvFrom expects more self payloads than sendTo provides")
+			}
+			in[k] = selfs[0]
+			selfs = selfs[1:]
+			continue
+		}
+		in[k] = r.recvColl(from, tag)
 	}
 	return in
 }
