@@ -23,6 +23,8 @@ func main() {
 	scaleFlag := flag.String("scale", "small", "small or full")
 	jsonOut := flag.Bool("json", false, "write BENCH_scaling.json when the scaling experiment runs")
 	jsonPath := flag.String("jsonpath", "BENCH_scaling.json", "output path for -json")
+	weakPer := flag.Int64("weakper", 24, "scaling figure: weak-series elements per rank")
+	weakMax := flag.Int("weakmax", 0, "scaling figure: largest weak-series rank count (0 = 256, or 512 at -scale full)")
 	flag.Parse()
 
 	scale := experiments.Small
@@ -71,7 +73,7 @@ func main() {
 		t.Print(w)
 	})
 	run("scaling", func() {
-		t, cases, fit := experiments.FigScaling(scale)
+		t, cases, fit := experiments.FigScalingOpts(scale, *weakPer, *weakMax)
 		t.Print(w)
 		if *jsonOut {
 			if err := experiments.WriteScalingJSON(*jsonPath, cases, fit); err != nil {

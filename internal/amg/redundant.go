@@ -19,22 +19,16 @@ type Redundant struct {
 }
 
 // NewRedundant gathers the distributed matrix and builds the replicated
-// hierarchy (collective).
+// hierarchy (collective). The multigrid coarse level used to share this
+// path via a pre-replicated CSR; it now solves distributed on an
+// agglomerated communicator instead (see gmg and amg.Distributed), so
+// replication is confined to callers that explicitly ask for it.
 func NewRedundant(A *la.Mat, opts Options) *Redundant {
-	return NewRedundantFromGlobal(A.GatherGlobalCSR(), A.Layout, opts)
-}
-
-// NewRedundantFromGlobal builds the replicated hierarchy from an already
-// globally replicated serial CSR (every rank must pass identical
-// matrices). Callers that refresh matrix values repeatedly on a fixed
-// pattern — e.g. the multigrid coarse level per viscosity update —
-// replicate the values themselves (one vector all-reduce) instead of
-// gathering a freshly assembled distributed matrix every time.
-func NewRedundantFromGlobal(csr *la.CSR, layout *la.Layout, opts Options) *Redundant {
+	csr := A.GatherGlobalCSR()
 	return &Redundant{
 		H:      Setup(csr, opts),
-		layout: layout,
-		out:    make([]float64, layout.N()),
+		layout: A.Layout,
+		out:    make([]float64, A.Layout.N()),
 	}
 }
 

@@ -9,9 +9,23 @@
 // Jacobi; the level operators apply the variable-viscosity stiffness per
 // element from cached unit kernels, sharing matfree's compact slot
 // numbering and ghost-exchange machinery. Only the coarsest level
-// assembles a CSR, solved by one redundant AMG hierarchy (package amg) —
-// so with a matrix-free Stokes apply the whole solve never assembles a
-// fine-level matrix.
+// assembles a CSR, solved distributed (AMG-preconditioned CG, package
+// amg) on whatever communicator still holds elements — so with a
+// matrix-free Stokes apply the whole solve never assembles a fine-level
+// matrix, and no level's matrix is ever replicated across ranks.
+//
+// The hierarchy is partition-aware: once a level falls below
+// Options.AgglomThreshold elements per rank, its octants are
+// repartitioned onto a power-of-two subset of the ranks (sim
+// communicator subsets) before coarsening continues, and ranks outside
+// the subset idle below that gap. Agglomeration removes the two
+// obstructions a fixed partition puts in the way of deep coarsening at
+// scale: rank-boundary families never merge, so coarsening stalls with
+// ~P elements left, and coarse-level collectives pay ceil(log2 P)
+// rounds to smooth a handful of elements. The repartition gap itself is
+// a pure permutation of node values (restriction and prolongation
+// across the gap are transposes of each other), so the V-cycle stays
+// symmetric.
 //
 // Setup is split so a convection time loop can amortize it. NewHierarchy
 // builds everything that depends only on the mesh: level trees and
@@ -21,10 +35,11 @@
 // viscosities. Rebuild refreshes everything that depends on the
 // viscosity — restricted per-level etas, smoother diagonals (one flat
 // plan scan each), Chebyshev lambda_max estimates (a short Lanczos run,
-// shared across the three velocity components), and the coarse AMG
-// values (one vector all-reduce) — at a small fraction of the hierarchy
-// construction cost, and leaves the result indistinguishable from a
-// freshly built hierarchy for the same viscosity.
+// shared across the three velocity components), and the distributed
+// coarse operator (an assembly over the agglomerated communicator) — at
+// a small fraction of the hierarchy construction cost, and leaves the
+// result indistinguishable from a freshly built hierarchy for the same
+// viscosity.
 package gmg
 
 import (
@@ -36,6 +51,7 @@ import (
 	"rhea/internal/matfree"
 	"rhea/internal/mesh"
 	"rhea/internal/octree"
+	"rhea/internal/sim"
 )
 
 // Options tunes hierarchy depth, smoothing and the coarse solve.
@@ -44,8 +60,19 @@ type Options struct {
 	MaxLevels int
 	// CoarseElems stops coarsening once the global element count is at
 	// or below this (default 32); that level assembles its CSR and is
-	// solved by one redundant AMG hierarchy.
+	// solved distributed on its (agglomerated) communicator.
 	CoarseElems int64
+	// AgglomThreshold is the minimum elements per rank a level keeps
+	// before its octants are agglomerated onto a power-of-two rank
+	// subset (default 8). Levels below it repartition first, so
+	// coarsening never stalls against rank boundaries and coarse
+	// collectives shrink with the work.
+	AgglomThreshold int64
+	// CoarseRtol/CoarseMaxIt bound the distributed coarsest solve
+	// (AMG-preconditioned CG; defaults 1e-10 and 500). The tight default
+	// keeps the V-cycle symmetric to solver precision.
+	CoarseRtol  float64
+	CoarseMaxIt int
 	// PreSmooth/PostSmooth are the Chebyshev applications before/after
 	// the coarse correction (default 1 each).
 	PreSmooth, PostSmooth int
@@ -90,6 +117,15 @@ func (o Options) withDefaults() Options {
 	if o.LanczosSteps == 0 {
 		o.LanczosSteps = 6
 	}
+	if o.AgglomThreshold == 0 {
+		o.AgglomThreshold = 8
+	}
+	if o.CoarseRtol == 0 {
+		o.CoarseRtol = 1e-10
+	}
+	if o.CoarseMaxIt == 0 {
+		o.CoarseMaxIt = 500
+	}
 	return o
 }
 
@@ -98,17 +134,29 @@ func (o Options) withDefaults() Options {
 // per octree level serves every element of that size). eta is the only
 // viscosity-dependent field; everything else survives a Rebuild.
 type level struct {
-	mesh  *mesh.Mesh
-	eta   []float64
-	sm    *matfree.SlotMap
-	kern  []*[8][8]float64 // per element, aliased per octree level
-	dplan []diagTerm       // slot-space diagonal assembly plan (BC-independent)
+	mesh   *mesh.Mesh
+	eta    []float64
+	sm     *matfree.SlotMap
+	kern   []*[8][8]float64 // per element, aliased per octree level
+	dplan  []diagTerm       // slot-space diagonal assembly plan (BC-independent)
+	repart bool             // shadow of a repartition gap: same global octants
+	//                         as the level above on fewer ranks, never smoothed
 }
 
 func newLevel(m *mesh.Mesh, dom fem.Domain) *level {
 	lv := &level{mesh: m, sm: matfree.NewSlotMap(m, 1), kern: fem.UnitStiffnessKernels(m, dom)}
 	lv.dplan = buildDiagPlan(lv)
 	return lv
+}
+
+// newShadowLevel builds the repartitioned copy of a level: full slot and
+// kernel machinery (the coarse solve may assemble here, and coarsening
+// continues from it), but no diagonal plan — shadow levels pass the
+// residual through unsmoothed, since smoothing them would just repeat
+// the finer twin's sweep on fewer ranks.
+func newShadowLevel(m *mesh.Mesh, dom fem.Domain) *level {
+	return &level{mesh: m, sm: matfree.NewSlotMap(m, 1),
+		kern: fem.UnitStiffnessKernels(m, dom), repart: true}
 }
 
 // Hierarchy is the geometric level stack shared by the per-component
@@ -123,12 +171,29 @@ func newLevel(m *mesh.Mesh, dom fem.Domain) *level {
 type Hierarchy struct {
 	dom    fem.Domain
 	opts   Options
-	levels []*level        // levels[0] is the finest (input) mesh
-	trans  []*fem.Transfer // trans[l] couples levels l (fine) and l+1 (coarse)
+	levels []*level        // levels[0] is the finest (input) mesh; local stack only
+	trans  []*fem.Transfer // trans[l] couples levels l (fine) and l+1 (coarse); nil at repart gaps
 	elems  []int64         // global element count per level
-	restr  [][]int32       // restr[l]: fine element of level l -> coarse element of level l+1
+	restr  [][]int32       // restr[l]: fine element of level l -> coarse element of level l+1; nil at repart gaps
+	rps    []*repart       // rps[l]: the repartition plan of gap l; nil at coarsen gaps
 	comps  []*Component    // components registered by Precond, refreshed by Rebuild
 	hasEta bool            // Rebuild has run at least once
+
+	// Exactly one of the following holds on every rank: the local stack
+	// ends at the coarsest level of the whole hierarchy (coarseHere), or
+	// it ends just above a repartition gap whose subset this rank is not
+	// in (partial is that gap's plan — the rank still couples into every
+	// transfer across it, then idles while the subset works below).
+	coarseHere bool
+	partial    *repart
+
+	// Global hierarchy summary, broadcast from rank 0 by finalize so the
+	// accessors answer identically on every rank — including ranks whose
+	// local stack was truncated by an agglomeration gap.
+	gDepth       int
+	gElems       []int64
+	gCoarseNodes int64
+	gCoarseP     int
 
 	// lmaxEta and diagEta cache the per-level lambda_max estimates and
 	// raw operator diagonals of the current viscosity, computed by the
@@ -143,43 +208,152 @@ type Hierarchy struct {
 // NewHierarchy derives the mesh-dependent coarse level stack from the
 // extracted fine mesh (collective): repeated CoarsenedCopy (octree or
 // forest, matching the mesh's origin) + mesh extraction until the global
-// element count falls to Options.CoarseElems, the level cap is hit, or
-// coarsening stops making progress under the partition. No viscosity is
-// attached yet — call Rebuild (or use New) before applying any
-// preconditioner built from it.
+// element count falls to Options.CoarseElems or the level cap is hit,
+// agglomerating a level onto a power-of-two rank subset whenever its
+// elements-per-rank falls below Options.AgglomThreshold or coarsening
+// stalls against the partition. Ranks that drop out of a subset return
+// with a truncated local stack (and the gap's plan as h.partial); the
+// global accessors still answer on them. No viscosity is attached yet —
+// call Rebuild (or use New) before applying any preconditioner built
+// from it.
 func NewHierarchy(m *mesh.Mesh, dom fem.Domain, opts Options) *Hierarchy {
 	o := opts.withDefaults()
 	h := &Hierarchy{dom: dom, opts: o}
+	fineComm := m.Rank
 	h.levels = append(h.levels, newLevel(m, dom))
-
-	coarsen := coarsenerFor(m)
 	h.elems = append(h.elems, m.Rank.AllreduceInt64(int64(len(m.Leaves))))
 
+	coarsen := coarsenerFor(m)
 	for len(h.levels) < o.MaxLevels && h.elems[len(h.elems)-1] > o.CoarseElems {
+		lv := h.levels[len(h.levels)-1]
+		E := h.elems[len(h.elems)-1]
+		P := int64(lv.mesh.Rank.Size())
+		if P > 1 && E < P*o.AgglomThreshold {
+			// Too few elements per rank for this partition to keep
+			// coarsening productively: agglomerate first, onto few enough
+			// ranks that several more octree levels fit above the
+			// threshold (factor-8 headroom per level).
+			t := E / (8 * o.AgglomThreshold)
+			if t < 1 {
+				t = 1
+			}
+			if !h.agglomerate(int(pow2Floor(t))) {
+				h.finalize(fineComm)
+				return h
+			}
+			coarsen = coarsenerFor(h.levels[len(h.levels)-1].mesh)
+			continue
+		}
 		cm, merged := coarsen()
-		if merged == 0 {
-			break
+		var ce int64
+		if merged > 0 {
+			ce = cm.Rank.AllreduceInt64(int64(len(cm.Leaves)))
 		}
-		ce := cm.Rank.AllreduceInt64(int64(len(cm.Leaves)))
-		// Stop when coarsening makes no progress: no family merged, or
-		// balance re-split everything (rank-boundary families never merge,
-		// so the count can stall above CoarseElems).
-		if ce >= h.elems[len(h.elems)-1] {
-			break
+		if merged == 0 || ce >= E {
+			// Coarsening stalled under this partition: no family merged,
+			// or balance re-split everything (rank-boundary families never
+			// merge). On one rank that is genuine degeneration; on more,
+			// moving the level onto half the ranks clears the boundaries
+			// and unlocks the merges. The coarsener's advanced state is
+			// useless either way — rebuild it from the shadow mesh.
+			if P == 1 {
+				break
+			}
+			// Jump toward the element-matched rank count (at least halve):
+			// a stall caused by rank-boundary families clears after one
+			// step, and a stubborn one (2:1 balance re-splitting merges)
+			// must not creep down one halving at a time.
+			t := pow2Floor(P / 2)
+			if et := E / (8 * o.AgglomThreshold); et >= 1 && pow2Floor(et) < t {
+				t = pow2Floor(et)
+			}
+			if !h.agglomerate(int(t)) {
+				h.finalize(fineComm)
+				return h
+			}
+			coarsen = coarsenerFor(h.levels[len(h.levels)-1].mesh)
+			continue
 		}
-		fine := h.levels[len(h.levels)-1]
-		h.trans = append(h.trans, fem.NewTransfer(fine.mesh, cm))
+		h.trans = append(h.trans, fem.NewTransfer(lv.mesh, cm))
 		// Fine-to-coarse element containment map, used by every Rebuild
 		// to restrict the viscosity without re-searching the Morton order.
-		ci := make([]int32, len(fine.mesh.Leaves))
-		for ei, leaf := range fine.mesh.Leaves {
-			ci[ei] = int32(findLeafIn(cm, treeOf(fine.mesh, ei), leaf))
+		ci := make([]int32, len(lv.mesh.Leaves))
+		for ei, leaf := range lv.mesh.Leaves {
+			ci[ei] = int32(findLeafIn(cm, treeOf(lv.mesh, ei), leaf))
 		}
 		h.restr = append(h.restr, ci)
+		h.rps = append(h.rps, nil)
 		h.levels = append(h.levels, newLevel(cm, dom))
 		h.elems = append(h.elems, ce)
 	}
+	// The coarsest level still spans its whole communicator; agglomerate
+	// once more so the distributed coarsest solve runs on a rank count
+	// matched to its size.
+	if lv := h.levels[len(h.levels)-1]; !lv.repart {
+		E := h.elems[len(h.elems)-1]
+		if P := int64(lv.mesh.Rank.Size()); P > 1 && E < P*o.AgglomThreshold {
+			t := E / o.AgglomThreshold
+			if t < 1 {
+				t = 1
+			}
+			if !h.agglomerate(int(pow2Floor(t))) {
+				h.finalize(fineComm)
+				return h
+			}
+		}
+	}
+	h.coarseHere = true
+	h.finalize(fineComm)
 	return h
+}
+
+// agglomerate inserts a repartition gap after the current coarsest
+// level, moving its octants onto the first newP ranks of its
+// communicator (collective on that communicator). Members of the subset
+// get the shadow level appended and report true; the rest record the
+// gap as their partial plan, stop growing their stack, and report
+// false.
+func (h *Hierarchy) agglomerate(newP int) bool {
+	lv := h.levels[len(h.levels)-1]
+	rp, sm := buildRepart(lv.mesh, newP)
+	if sm == nil {
+		h.partial = rp
+		return false
+	}
+	h.trans = append(h.trans, nil)
+	h.restr = append(h.restr, nil)
+	h.rps = append(h.rps, rp)
+	h.levels = append(h.levels, newShadowLevel(sm, h.dom))
+	h.elems = append(h.elems, h.elems[len(h.elems)-1])
+	return true
+}
+
+// hierInfo is the global summary finalize broadcasts from rank 0 (a
+// member of every agglomerated subset — they are nested rank prefixes),
+// so every rank can answer the hierarchy accessors.
+type hierInfo struct {
+	depth       int
+	elems       []int64
+	coarseNodes int64
+	coarseP     int
+}
+
+func (h *Hierarchy) finalize(fineComm *sim.Comm) {
+	var info hierInfo
+	if fineComm.ID() == 0 {
+		last := h.levels[len(h.levels)-1]
+		info = hierInfo{
+			depth:       len(h.levels),
+			elems:       h.elems,
+			coarseNodes: last.mesh.NGlobal,
+			coarseP:     last.mesh.Rank.Size(),
+		}
+	}
+	info = fineComm.Bcast(0, info, 64).(hierInfo)
+	h.gDepth = info.depth
+	h.gElems = info.elems
+	h.gCoarseNodes = info.coarseNodes
+	h.gCoarseP = info.coarseP
 }
 
 // coarsenerFor returns a closure producing successively coarser meshes:
@@ -237,15 +411,26 @@ func New(m *mesh.Mesh, dom fem.Domain, etaElem []float64, opts Options) *Hierarc
 // Rebuild re-derives every viscosity-dependent quantity from a new fine
 // per-element viscosity while keeping the level meshes, slot maps and
 // transfer stencils (collective): coarse viscosities are volume-weighted
-// restrictions of etaElem, and every Component handed out by Precond
-// refreshes its smoother diagonals, Chebyshev eigenvalue estimates and
-// coarsest-level AMG values. After Rebuild the hierarchy preconditions
-// exactly as a freshly built one for the same viscosity.
+// restrictions of etaElem (shipped across repartition gaps unchanged —
+// the octants are identical on both sides), and every Component handed
+// out by Precond refreshes its smoother diagonals, Chebyshev eigenvalue
+// estimates and the distributed coarsest operator. After Rebuild the
+// hierarchy preconditions exactly as a freshly built one for the same
+// viscosity.
 func (h *Hierarchy) Rebuild(etaElem []float64) {
 	h.levels[0].eta = etaElem
 	for l := 1; l < len(h.levels); l++ {
-		h.levels[l].eta = restrictEtaMapped(h.levels[l-1].mesh, h.levels[l].mesh,
-			h.restr[l-1], h.levels[l-1].eta)
+		if h.levels[l].repart {
+			h.levels[l].eta = h.rps[l-1].ElemForward(h.levels[l-1].eta)
+		} else {
+			h.levels[l].eta = restrictEtaMapped(h.levels[l-1].mesh, h.levels[l].mesh,
+				h.restr[l-1], h.levels[l-1].eta)
+		}
+	}
+	if h.partial != nil {
+		// This rank idles below its last level, but the gap's viscosity
+		// transfer is collective on the pre-gap communicator.
+		h.partial.ElemForward(h.levels[len(h.levels)-1].eta)
 	}
 	h.hasEta = true
 	h.lmaxValid = false
@@ -284,15 +469,35 @@ func restrictEtaMapped(fine, coarse *mesh.Mesh, ci []int32, eta []float64) []flo
 // building a duplicate.
 func (h *Hierarchy) FineSlots() *matfree.SlotMap { return h.levels[0].sm }
 
-// NumLevels returns the hierarchy depth (1 = no coarsening happened).
-func (h *Hierarchy) NumLevels() int { return len(h.levels) }
+// NumLevels returns the global hierarchy depth (1 = no coarsening
+// happened), valid on every rank — including ranks whose local stack
+// was truncated by an agglomeration gap.
+func (h *Hierarchy) NumLevels() int { return h.gDepth }
 
-// LevelElems returns the global element count per level, finest first.
-func (h *Hierarchy) LevelElems() []int64 { return append([]int64(nil), h.elems...) }
+// LevelElems returns the global element count per level, finest first
+// (repartition gaps keep the count — the shadow level holds the same
+// octants on fewer ranks). Valid on every rank.
+func (h *Hierarchy) LevelElems() []int64 { return append([]int64(nil), h.gElems...) }
 
 // CoarseNodes returns the global node count of the coarsest level — the
-// only level whose operator is ever assembled.
-func (h *Hierarchy) CoarseNodes() int64 { return h.levels[len(h.levels)-1].mesh.NGlobal }
+// only level whose operator is ever assembled. Valid on every rank.
+func (h *Hierarchy) CoarseNodes() int64 { return h.gCoarseNodes }
+
+// CoarseRanks returns how many ranks hold the coarsest level after
+// agglomeration. Valid on every rank.
+func (h *Hierarchy) CoarseRanks() int { return h.gCoarseP }
+
+// Degenerate reports that coarsening stopped above Options.CoarseElems
+// — the hierarchy is too shallow for level-independent convergence and
+// its coarsest solve carries more work than intended. With
+// agglomeration this only happens on meshes a single rank cannot
+// coarsen (pathological refinement patterns), not from partition
+// stalls. Valid on every rank.
+func (h *Hierarchy) Degenerate() bool { return h.gElems[h.gDepth-1] > h.opts.CoarseElems }
+
+// CoarseTarget returns the effective CoarseElems option after defaults —
+// the element count coarsening aims for.
+func (h *Hierarchy) CoarseTarget() int64 { return h.opts.CoarseElems }
 
 // Precond builds the matrix-free V-cycle preconditioner for one scalar
 // velocity component with the given Dirichlet set (collective: it
@@ -313,18 +518,13 @@ func (h *Hierarchy) CoarseNodes() int64 { return h.levels[len(h.levels)-1].mesh.
 // accumulate live registrations that each Rebuild keeps paying for.
 func (h *Hierarchy) Precond(bc fem.ScalarBC) krylov.Operator {
 	c := &Component{h: h}
-	last := len(h.levels) - 1
-	for l, lv := range h.levels {
+	for _, lv := range h.levels {
 		layout := lv.mesh.Layout()
+		bcd := fem.GatherBC(lv.mesh, h.dom, bc)
+		c.bcds = append(c.bcds, bcd)
+		c.ops = append(c.ops, newLevelOp(lv, bcd))
 		c.b = append(c.b, la.NewVec(layout))
 		c.x = append(c.x, la.NewVec(layout))
-		bcd := fem.GatherBC(lv.mesh, h.dom, bc)
-		op := newLevelOp(lv, bcd)
-		c.ops = append(c.ops, op)
-		if l == last {
-			c.cplan = buildCoarsePlan(lv, h.dom, bcd)
-			break
-		}
 		c.dinv = append(c.dinv, la.NewVec(layout))
 		c.lmax = append(c.lmax, 0) // set by refresh from the hierarchy cache
 		c.r = append(c.r, la.NewVec(layout))
@@ -369,20 +569,36 @@ func (h *Hierarchy) sharedDiag(l int) *la.Vec {
 // component's Dirichlet rows set to 1), the Chebyshev lambda_max
 // estimates (a short Lanczos run per level, done by the first component
 // after each Rebuild and shared via the hierarchy cache), and the
-// assembled + AMG-setup coarsest operator from the cached unit kernels.
+// distributed coarsest operator, assembled from the cached unit kernels
+// over the agglomerated communicator — never replicated.
 func (c *Component) refresh() {
 	h := c.h
-	last := len(h.levels) - 1
-	if len(h.lmaxEta) < last {
-		h.lmaxEta = make([]float64, last)
-		h.diagEta = make([]*la.Vec, last)
+	nl := len(h.levels)
+	if len(h.lmaxEta) < nl {
+		h.lmaxEta = make([]float64, nl)
+		h.diagEta = make([]*la.Vec, nl)
 	}
 	for l, lv := range h.levels {
-		if l == last {
-			// Coarsest level: replicated CSR values from the cached
-			// pattern plan, redundant AMG solve.
-			c.coarse = amg.NewRedundantFromGlobal(c.cplan.values(lv), lv.mesh.Layout(), h.opts.AMG)
+		if h.coarseHere && l == nl-1 {
+			// Coarsest level: assemble this rank's row block of the
+			// viscosity-scaled operator and set up the distributed solve.
+			kern, eta := lv.kern, lv.eta
+			elemMat := func(ei int, _ [3]float64) [8][8]float64 {
+				K := *kern[ei]
+				e := eta[ei]
+				for a := 0; a < 8; a++ {
+					for b := 0; b < 8; b++ {
+						K[a][b] *= e
+					}
+				}
+				return K
+			}
+			Ac, _, _ := fem.AssembleScalarWithBC(lv.mesh, h.dom, elemMat, nil, c.bcds[l])
+			c.coarse = amg.NewDistributed(Ac, h.opts.AMG, h.opts.CoarseRtol, h.opts.CoarseMaxIt)
 			break
+		}
+		if lv.repart {
+			continue // pass-through level, never smoothed
 		}
 		d := h.sharedDiag(l)
 		dinv := c.dinv[l]

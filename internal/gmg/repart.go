@@ -1,0 +1,336 @@
+package gmg
+
+// Rank-subset agglomeration: once a level has too few elements per rank,
+// its octants are repartitioned onto a sub-communicator of the first
+// newP ranks and the hierarchy continues there, with ranks outside the
+// subset idle below that gap. The repart plan built here is the gap's
+// coupling: a permutation of the level's node values between the two
+// partitions of the *same* global mesh (NodeForward carries residuals
+// down, NodeBackward carries corrections up, ElemForward carries
+// per-element viscosities down).
+//
+// Node identity across the two partitions cannot use global node
+// numbers — the numbering is partition-dependent (each rank numbers its
+// owned nodes by canonical key, and ownership moves with the leaves) —
+// so the plan matches nodes by their canonical (tree, position) keys.
+// Each sending rank computes the receiving owner locally: a node is
+// owned by whichever rank owns the leaf containing its canonical
+// incident finest cell, and that leaf's global index (partition-
+// independent curve order) names the destination block.
+
+import (
+	"fmt"
+
+	"rhea/internal/forest"
+	"rhea/internal/la"
+	"rhea/internal/mesh"
+	"rhea/internal/morton"
+	"rhea/internal/octree"
+	"rhea/internal/sim"
+)
+
+// repart couples one level's mesh (on comm) with its repartitioned copy
+// (on sub, the first newP ranks of comm). All of comm participates in
+// every transfer; ranks outside sub have empty receive plans.
+type repart struct {
+	comm *sim.Comm // the pre-agglomeration level's communicator
+	sub  *sim.Comm // the agglomerated communicator (comm ranks [0, newP))
+
+	// Element plan: contiguous curve-order leaf ranges. eSendCnt[k]
+	// leaves go to comm rank eSendTo[k]; eRecvCnt[k] arrive from
+	// eRecvFrom[k] (ascending, concatenating to the shadow's leaf order).
+	eSendTo, eRecvFrom []int
+	eSendCnt, eRecvCnt []int
+	nElems             int // local elements on the shadow side
+
+	// Node plan: nSendIdx[k] lists the fine-side owned node indices
+	// shipped to nSendTo[k]; nRecvIdx[k] the shadow-side owned node
+	// indices filled from nRecvFrom[k], aligned with the sender's order.
+	nSendTo, nRecvFrom []int
+	nSendIdx, nRecvIdx [][]int32
+}
+
+// nodeKeyMsg carries canonical node keys between partitions.
+type nodeKeyMsg struct {
+	trees []int32
+	pos   [][3]uint32
+}
+
+// pow2Floor returns the largest power of two <= n (n >= 1).
+func pow2Floor(n int64) int64 {
+	p := int64(1)
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}
+
+// blockOwner returns which of newP contiguous even shares (remainders to
+// the low shares, as in the tree partitioners) contains global index gi.
+func blockOwner(total, newP, gi int64) int {
+	q, rem := total/newP, total%newP
+	cut := rem * (q + 1)
+	if gi < cut {
+		return int(gi / (q + 1))
+	}
+	return int(rem + (gi-cut)/q)
+}
+
+// blockRange returns block j's [lo, hi) of the even-share partition.
+func blockRange(total, newP, j int64) (int64, int64) {
+	q, rem := total/newP, total%newP
+	lo := q*j + j
+	if j >= rem {
+		lo = q*j + rem
+	}
+	hi := lo + q
+	if j < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// ownerCell returns the canonical incident finest cell that determines
+// ownership of owned node i — the rule the mesh extraction applies — so
+// the repartitioned owner can be computed from the element partition
+// alone.
+func ownerCell(m *mesh.Mesh, i int) (int32, morton.Octant) {
+	if m.Trees != nil {
+		c := m.OwnedCell[i]
+		return c.Tree, c.O
+	}
+	P := m.OwnedPos[i]
+	var q [3]uint32
+	for a := 0; a < 3; a++ {
+		q[a] = P[a]
+		if q[a] >= morton.RootLen {
+			q[a] = morton.RootLen - 1
+		}
+	}
+	return 0, morton.Octant{X: q[0], Y: q[1], Z: q[2], Level: morton.MaxLevel}
+}
+
+// buildRepart repartitions the level mesh onto the first newP ranks of
+// its communicator (collective on m.Rank): it derives the
+// sub-communicator, ships the leaves to their new owners, extracts the
+// repartitioned mesh there, and builds the node/element plans. The
+// returned mesh is nil on ranks outside the subset — they keep the plan
+// (their send side) and go idle below this gap.
+func buildRepart(m *mesh.Mesh, newP int) (*repart, *mesh.Mesh) {
+	comm := m.Rank
+	members := make([]int, newP)
+	for i := range members {
+		members[i] = i
+	}
+	sub := comm.Subset(members)
+	rp := &repart{comm: comm, sub: sub}
+
+	// Element partition: current offsets vs target blocks.
+	ne := int64(len(m.Leaves))
+	counts := comm.AllgatherInt64(ne)
+	offs := make([]int64, len(counts)+1)
+	for i, c := range counts {
+		offs[i+1] = offs[i] + c
+	}
+	E := offs[len(offs)-1]
+	np := int64(newP)
+	myOff := offs[comm.ID()]
+
+	// Send side: split my contiguous leaf range over the target blocks.
+	for gi := myOff; gi < myOff+ne; {
+		j := blockOwner(E, np, gi)
+		_, bhi := blockRange(E, np, int64(j))
+		hi := myOff + ne
+		if bhi < hi {
+			hi = bhi
+		}
+		rp.eSendTo = append(rp.eSendTo, j)
+		rp.eSendCnt = append(rp.eSendCnt, int(hi-gi))
+		gi = hi
+	}
+	// Receive side: my block against the current rank ranges.
+	if sub.Member() {
+		blo, bhi := blockRange(E, np, int64(sub.ID()))
+		rp.nElems = int(bhi - blo)
+		for a := 0; a < comm.Size(); a++ {
+			lo, hi := offs[a], offs[a+1]
+			if lo < blo {
+				lo = blo
+			}
+			if hi > bhi {
+				hi = bhi
+			}
+			if lo < hi {
+				rp.eRecvFrom = append(rp.eRecvFrom, a)
+				rp.eRecvCnt = append(rp.eRecvCnt, int(hi-lo))
+			}
+		}
+	}
+
+	// Ship the leaves and extract the repartitioned mesh on the subset.
+	var sm *mesh.Mesh
+	if m.Trees != nil {
+		payloads := make([]any, len(rp.eSendTo))
+		nbytes := make([]int, len(rp.eSendTo))
+		off := 0
+		for k, cnt := range rp.eSendCnt {
+			fo := make([]forest.Octant, cnt)
+			for i := 0; i < cnt; i++ {
+				fo[i] = forest.Octant{Tree: m.Trees[off+i], O: m.Leaves[off+i]}
+			}
+			payloads[k] = fo
+			nbytes[k] = 20 * cnt
+			off += cnt
+		}
+		in := comm.NeighborExchange(rp.eSendTo, payloads, nbytes, rp.eRecvFrom)
+		if sub.Member() {
+			leaves := make([]forest.Octant, 0, rp.nElems)
+			for _, d := range in {
+				leaves = append(leaves, d.([]forest.Octant)...)
+			}
+			sm = mesh.ExtractForest(forest.FromLeaves(sub, m.Conn, leaves), m.Geom)
+		}
+	} else {
+		payloads := make([]any, len(rp.eSendTo))
+		nbytes := make([]int, len(rp.eSendTo))
+		off := 0
+		for k, cnt := range rp.eSendCnt {
+			payloads[k] = append([]morton.Octant(nil), m.Leaves[off:off+cnt]...)
+			nbytes[k] = 16 * cnt
+			off += cnt
+		}
+		in := comm.NeighborExchange(rp.eSendTo, payloads, nbytes, rp.eRecvFrom)
+		if sub.Member() {
+			leaves := make([]morton.Octant, 0, rp.nElems)
+			for _, d := range in {
+				leaves = append(leaves, d.([]morton.Octant)...)
+			}
+			sm = mesh.Extract(octree.FromLeaves(sub, leaves))
+		}
+	}
+
+	// Node plan: group my owned nodes by their new owner (the block
+	// containing their canonical incident leaf, which is local to me).
+	destIdx := map[int][]int32{}
+	for i := 0; i < m.NumOwned; i++ {
+		tree, cell := ownerCell(m, i)
+		li := m.FindLocalElement(tree, cell)
+		if li < 0 {
+			panic(fmt.Sprintf("gmg: owned node %d's canonical cell is not local", i))
+		}
+		j := blockOwner(E, np, myOff+int64(li))
+		destIdx[j] = append(destIdx[j], int32(i))
+	}
+	var dests []int
+	for j := range destIdx {
+		dests = append(dests, j)
+	}
+	sortInts(dests)
+	msgs := make([]any, len(dests))
+	sizes := make([]int, len(dests))
+	for k, j := range dests {
+		idx := destIdx[j]
+		msg := nodeKeyMsg{trees: make([]int32, len(idx)), pos: make([][3]uint32, len(idx))}
+		for t, i := range idx {
+			if m.Trees != nil {
+				msg.trees[t] = m.OwnedTree[i]
+			}
+			msg.pos[t] = m.OwnedPos[i]
+		}
+		msgs[k] = msg
+		sizes[k] = 16 * len(idx)
+		rp.nSendTo = append(rp.nSendTo, j)
+		rp.nSendIdx = append(rp.nSendIdx, idx)
+	}
+	froms, datas := comm.AlltoallvSparse(dests, msgs, sizes)
+	for k, from := range froms {
+		msg := datas[k].(nodeKeyMsg)
+		idx := make([]int32, len(msg.pos))
+		for t := range msg.pos {
+			li, ok := sm.LocalIndexTree(msg.trees[t], msg.pos[t])
+			if !ok {
+				panic(fmt.Sprintf("gmg: repartitioned mesh does not own node %v (tree %d)",
+					msg.pos[t], msg.trees[t]))
+			}
+			idx[t] = li
+		}
+		rp.nRecvFrom = append(rp.nRecvFrom, from)
+		rp.nRecvIdx = append(rp.nRecvIdx, idx)
+	}
+	return rp, sm
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// NodeForward permutes fine-partition node values into the shadow
+// partition (collective on comm): dst[shadow index] = src[fine index].
+// Pass dst nil on ranks outside the subset (they only send).
+func (rp *repart) NodeForward(src, dst *la.Vec) {
+	payloads := make([]any, len(rp.nSendTo))
+	nbytes := make([]int, len(rp.nSendTo))
+	for k, idx := range rp.nSendIdx {
+		vals := make([]float64, len(idx))
+		for t, i := range idx {
+			vals[t] = src.Data[i]
+		}
+		payloads[k] = vals
+		nbytes[k] = 8 * len(idx)
+	}
+	in := rp.comm.NeighborExchange(rp.nSendTo, payloads, nbytes, rp.nRecvFrom)
+	for k, d := range in {
+		vals := d.([]float64)
+		for t, li := range rp.nRecvIdx[k] {
+			dst.Data[li] = vals[t]
+		}
+	}
+}
+
+// NodeBackward permutes shadow-partition node values back into the fine
+// partition (collective on comm): the exact transpose of NodeForward.
+// Pass src nil on ranks outside the subset (they only receive).
+func (rp *repart) NodeBackward(src, dst *la.Vec) {
+	payloads := make([]any, len(rp.nRecvFrom))
+	nbytes := make([]int, len(rp.nRecvFrom))
+	for k, idx := range rp.nRecvIdx {
+		vals := make([]float64, len(idx))
+		for t, li := range idx {
+			vals[t] = src.Data[li]
+		}
+		payloads[k] = vals
+		nbytes[k] = 8 * len(idx)
+	}
+	in := rp.comm.NeighborExchange(rp.nRecvFrom, payloads, nbytes, rp.nSendTo)
+	for k, d := range in {
+		vals := d.([]float64)
+		for t, i := range rp.nSendIdx[k] {
+			dst.Data[i] = vals[t]
+		}
+	}
+}
+
+// ElemForward ships per-element values (viscosities) into the shadow
+// partition's leaf order (collective on comm); the returned slice is
+// empty on ranks outside the subset. Identical octants on both sides
+// make this a pure permutation — no averaging.
+func (rp *repart) ElemForward(eta []float64) []float64 {
+	payloads := make([]any, len(rp.eSendTo))
+	nbytes := make([]int, len(rp.eSendTo))
+	off := 0
+	for k, cnt := range rp.eSendCnt {
+		payloads[k] = eta[off : off+cnt : off+cnt]
+		nbytes[k] = 8 * cnt
+		off += cnt
+	}
+	in := rp.comm.NeighborExchange(rp.eSendTo, payloads, nbytes, rp.eRecvFrom)
+	out := make([]float64, 0, rp.nElems)
+	for _, d := range in {
+		out = append(out, d.([]float64)...)
+	}
+	return out
+}

@@ -2,7 +2,6 @@ package gmg
 
 import (
 	"fmt"
-	"sort"
 
 	"rhea/internal/fem"
 	"rhea/internal/krylov"
@@ -101,12 +100,12 @@ func (o *levelOp) Apply(x, y *la.Vec) {
 type Component struct {
 	h      *Hierarchy
 	ops    []*levelOp
+	bcds   []*fem.BCData // per-level Dirichlet sets (coarse assembly re-reads its own)
 	dinv   []*la.Vec
 	lmax   []float64
 	coarse krylov.Operator
-	cplan  *coarsePlan // coarsest-level pattern + value plan
 
-	// per-level work vectors (r,d,z,w only on smoothed levels)
+	// per-level work vectors
 	b, x, r, d, z, w []*la.Vec
 }
 
@@ -115,120 +114,6 @@ type Component struct {
 type diagTerm struct {
 	Slot, Elem int32
 	Coef       float64
-}
-
-// coarsePlan caches the mesh/BC-dependent structure of the coarsest
-// level's globally replicated CSR: the sparsity pattern (a superset
-// assembled from |K| so viscosity-dependent cancellation can never drop
-// an entry), the viscosity-independent values (Dirichlet identity rows),
-// and this rank's per-entry contributions as linear functions of the
-// element viscosities. A refresh then costs one flat scan plus one
-// vector all-reduce instead of a full distributed assembly and gather.
-type coarsePlan struct {
-	rowPtr []int32
-	colIdx []int32
-	base   []float64 // eta-independent values (identity rows)
-	terms  []matTerm // this rank's contributions
-}
-
-// matTerm is one precomputed contribution eta[Elem]*Coef to global CSR
-// entry Entry.
-type matTerm struct {
-	Entry, Elem int32
-	Coef        float64
-}
-
-// buildCoarsePlan assembles the coarsest level's global pattern and
-// contribution plan (collective).
-func buildCoarsePlan(lv *level, dom fem.Domain, bcd *fem.BCData) *coarsePlan {
-	m := lv.mesh
-	// Pattern from absolute-value kernels: a superset of the true
-	// sparsity for every positive viscosity field.
-	absMat := func(ei int, _ [3]float64) [8][8]float64 {
-		K := *lv.kern[ei]
-		for a := 0; a < 8; a++ {
-			for b := 0; b < 8; b++ {
-				if K[a][b] < 0 {
-					K[a][b] = -K[a][b]
-				}
-			}
-		}
-		return K
-	}
-	Ap, _, _ := fem.AssembleScalarWithBC(m, dom, absMat, nil, bcd)
-	g := Ap.GatherGlobalCSR()
-	p := &coarsePlan{rowPtr: g.RowPtr, colIdx: g.ColIdx, base: make([]float64, g.NNZ())}
-
-	// Identity rows: gather the global Dirichlet flags and set their
-	// diagonal entries.
-	flag := la.NewVec(m.Layout())
-	for i := 0; i < m.NumOwned; i++ {
-		if bcd.IsSet(m.Offset + int64(i)) {
-			flag.Data[i] = 1
-		}
-	}
-	full := la.GatherGlobal(flag)
-	for row, f := range full {
-		if f != 0 {
-			p.base[p.findEntry(int64(row), int64(row))] = 1
-		}
-	}
-
-	// Local element contributions to unconstrained entries.
-	for ei := range m.Corners {
-		cs := &m.Corners[ei]
-		K := lv.kern[ei]
-		for a := 0; a < 8; a++ {
-			for ia := 0; ia < int(cs[a].N); ia++ {
-				ga, wa := cs[a].GID[ia], cs[a].W[ia]
-				if bcd.IsSet(ga) {
-					continue // identity row
-				}
-				for b := 0; b < 8; b++ {
-					for ib := 0; ib < int(cs[b].N); ib++ {
-						gb, wb := cs[b].GID[ib], cs[b].W[ib]
-						if bcd.IsSet(gb) {
-							continue // eliminated column
-						}
-						coef := wa * wb * K[a][b]
-						if coef == 0 {
-							continue
-						}
-						p.terms = append(p.terms, matTerm{
-							Entry: int32(p.findEntry(ga, gb)), Elem: int32(ei), Coef: coef})
-					}
-				}
-			}
-		}
-	}
-	return p
-}
-
-// findEntry locates the CSR entry (row, col) in the global pattern
-// (columns are sorted within each row); it panics if absent, which would
-// mean the pattern superset property is broken.
-func (p *coarsePlan) findEntry(row, col int64) int {
-	lo, hi := int(p.rowPtr[row]), int(p.rowPtr[row+1])
-	i := lo + sort.Search(hi-lo, func(i int) bool { return int64(p.colIdx[lo+i]) >= col })
-	if i < hi && int64(p.colIdx[i]) == col {
-		return i
-	}
-	panic(fmt.Sprintf("gmg: coarse pattern is missing entry (%d,%d)", row, col))
-}
-
-// values computes the replicated global CSR values for the level's
-// current viscosity (collective: one vector all-reduce).
-func (p *coarsePlan) values(lv *level) *la.CSR {
-	contrib := make([]float64, len(p.base))
-	for _, t := range p.terms {
-		contrib[t.Entry] += lv.eta[t.Elem] * t.Coef
-	}
-	sum := lv.mesh.Rank.AllreduceVec(contrib)
-	vals := make([]float64, len(p.base))
-	for i := range vals {
-		vals[i] = p.base[i] + sum[i]
-	}
-	return &la.CSR{N: int(lv.mesh.NGlobal), RowPtr: p.rowPtr, ColIdx: p.colIdx, Vals: vals}
 }
 
 // buildDiagPlan collects, for every slot of the level, the coefficients
@@ -297,34 +182,62 @@ func (c *Component) Apply(x, y *la.Vec) {
 }
 
 func (c *Component) cycle(l int) {
-	last := len(c.h.levels) - 1
-	if l == last {
+	h := c.h
+	last := len(h.levels) - 1
+	if l == last && h.coarseHere {
 		c.coarse.Apply(c.b[l], c.x[l])
 		return
 	}
-	// Pre-smooth with zero initial guess.
+	lv := h.levels[l]
 	c.x[l].Zero()
-	for s := 0; s < c.h.opts.PreSmooth; s++ {
-		c.chebyshev(l)
+	if lv.repart {
+		// Shadow of a repartition gap: the level above already smoothed
+		// these octants, so pass the residual straight through.
+		c.r[l].Copy(c.b[l])
+	} else {
+		for s := 0; s < h.opts.PreSmooth; s++ {
+			c.chebyshev(l)
+		}
+		// Residual, carried to the next level down (Dirichlet rows
+		// masked: the coarse error is zero at constrained nodes).
+		c.ops[l].Apply(c.x[l], c.r[l])
+		c.r[l].Scale(-1)
+		c.r[l].AXPY(1, c.b[l])
 	}
-	// Residual, restricted to the coarse level (Dirichlet rows masked:
-	// the coarse error is zero at constrained nodes).
-	c.ops[l].Apply(c.x[l], c.r[l])
-	c.r[l].Scale(-1)
-	c.r[l].AXPY(1, c.b[l])
-	c.h.trans[l].Restrict(c.r[l], c.b[l+1])
-	for _, s := range c.ops[l+1].ownFixed {
-		c.b[l+1].Data[s] = 0
+	switch {
+	case l == last:
+		// This rank's stack ends above a repartition gap it is not in:
+		// hand the residual to the subset, idle while it works the
+		// coarser levels, collect the correction.
+		h.partial.NodeForward(c.r[l], nil)
+		h.partial.NodeBackward(nil, c.z[l])
+	case h.rps[l] != nil:
+		// Repartition gap: restriction is the identity permutation onto
+		// the subset's partition, prolongation its transpose.
+		rp := h.rps[l]
+		rp.NodeForward(c.r[l], c.b[l+1])
+		for _, s := range c.ops[l+1].ownFixed {
+			c.b[l+1].Data[s] = 0
+		}
+		c.cycle(l + 1)
+		rp.NodeBackward(c.x[l+1], c.z[l])
+	default:
+		h.trans[l].Restrict(c.r[l], c.b[l+1])
+		for _, s := range c.ops[l+1].ownFixed {
+			c.b[l+1].Data[s] = 0
+		}
+		c.cycle(l + 1)
+		// Prolonged correction (masked at constrained fine dofs).
+		h.trans[l].Prolong(c.x[l+1], c.z[l])
 	}
-	c.cycle(l + 1)
-	// Prolonged correction (masked at constrained fine dofs).
-	c.h.trans[l].Prolong(c.x[l+1], c.z[l])
 	for _, s := range c.ops[l].ownFixed {
 		c.z[l].Data[s] = 0
 	}
 	c.x[l].AXPY(1, c.z[l])
-	for s := 0; s < c.h.opts.PostSmooth; s++ {
-		c.chebyshev(l)
+	if !lv.repart {
+		for s := 0; s < h.opts.PostSmooth; s++ {
+			c.chebyshev(l)
+		}
 	}
 }
 

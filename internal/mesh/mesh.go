@@ -445,6 +445,21 @@ func (m *Mesh) LocalIndex(p [3]uint32) (int32, bool) {
 	return li, ok
 }
 
+// LocalIndexTree returns the local index of the owned node at canonical
+// position (tree, p) and whether this rank owns it. On forest meshes the
+// key must be the node's canonical representation (lowest owning tree,
+// canonical in-tree position); on single-tree meshes tree is ignored.
+// Cross-rank mesh couplings (the multigrid repartition plans) use this to
+// resolve node identity independently of the partition-dependent global
+// numbering.
+func (m *Mesh) LocalIndexTree(tree int32, p [3]uint32) (int32, bool) {
+	if m.posToLocalT != nil {
+		li, ok := m.posToLocalT[nodeKey{tree, posKey(p)}]
+		return li, ok
+	}
+	return m.LocalIndex(p)
+}
+
 // GID returns the global id of the referenced node at position p; it
 // panics if p was never referenced by this rank's elements.
 func (m *Mesh) GID(p [3]uint32) int64 {

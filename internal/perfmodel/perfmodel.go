@@ -143,6 +143,69 @@ func FitSamples(samples []Sample) Fit {
 	return Fit{A: sol[0], B: sol[1], C: sol[2]}
 }
 
+// FitSamplesRel fits the law minimizing the *relative* squared error
+// Σ((pred-T)/T)² subject to non-negative coefficients. Use it when the
+// measured times span orders of magnitude (e.g. wall clock across a
+// weak-scaling ladder), where the absolute least squares of FitSamples
+// lets the largest sample dominate and fits the small ones poorly.
+// Unlike FitSamples's clamp, the sign constraint is enforced exactly:
+// with three variables, NNLS is an enumeration of the 2³ support sets.
+func FitSamplesRel(samples []Sample) Fit {
+	var rows [][3]float64
+	var ts []float64
+	for _, s := range samples {
+		if s.T > 0 {
+			rows = append(rows, terms(s.N, s.P))
+			ts = append(ts, s.T)
+		}
+	}
+	best := Fit{}
+	bestR := math.Inf(1)
+	for mask := 0; mask < 8; mask++ {
+		var m [3][3]float64
+		var rhs [3]float64
+		for k, x := range rows {
+			w := 1 / (ts[k] * ts[k])
+			for i := 0; i < 3; i++ {
+				if mask&(1<<i) == 0 {
+					continue
+				}
+				for j := 0; j < 3; j++ {
+					if mask&(1<<j) != 0 {
+						m[i][j] += w * x[i] * x[j]
+					}
+				}
+				rhs[i] += w * x[i] * ts[k]
+			}
+		}
+		for i := 0; i < 3; i++ {
+			if mask&(1<<i) == 0 {
+				m[i][i] = 1 // pin excluded coefficients to zero
+			}
+		}
+		sol := solve3(m, rhs)
+		feasible := true
+		for i := 0; i < 3; i++ {
+			if math.IsNaN(sol[i]) || math.IsInf(sol[i], 0) || sol[i] < 0 {
+				feasible = false
+			}
+		}
+		if !feasible {
+			continue
+		}
+		var r float64
+		for k, x := range rows {
+			e := (sol[0]*x[0]+sol[1]*x[1]+sol[2]*x[2])/ts[k] - 1
+			r += e * e
+		}
+		if r < bestR {
+			bestR = r
+			best = Fit{A: sol[0], B: sol[1], C: sol[2]}
+		}
+	}
+	return best
+}
+
 func terms(n int64, p int) [3]float64 {
 	g := float64(n) / float64(p)
 	l := math.Log2(float64(p))

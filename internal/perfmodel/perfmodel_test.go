@@ -107,3 +107,46 @@ func TestSolve3(t *testing.T) {
 		}
 	}
 }
+
+func TestFitRelRecoversKnownLaw(t *testing.T) {
+	truth := Fit{A: 2e-6, B: 5e-5, C: 3e-3}
+	var samples []Sample
+	for _, p := range []int{2, 4, 8, 16, 32, 64} {
+		n := int64(100000 * p)
+		samples = append(samples, Sample{N: n, P: p, T: truth.Predict(n, p)})
+		n2 := int64(800000)
+		samples = append(samples, Sample{N: n2, P: p, T: truth.Predict(n2, p)})
+	}
+	fit := FitSamplesRel(samples)
+	for _, s := range samples {
+		got := fit.Predict(s.N, s.P)
+		if math.Abs(got-s.T)/s.T > 1e-6 {
+			t.Fatalf("relative fit does not reproduce sample %+v: %v", s, got)
+		}
+	}
+}
+
+func TestFitRelNonNegativeOnAdversarialData(t *testing.T) {
+	// Wall times that *decrease* with N/P and grow with P faster than
+	// log2 — no non-negative combination of the three terms can match,
+	// and an unconstrained solve would go negative. NNLS must return
+	// the best non-negative fit, not a clamped-garbage one.
+	samples := []Sample{
+		{N: 1536, P: 16, T: 1.4},
+		{N: 1536, P: 64, T: 3.8},
+		{N: 1536, P: 256, T: 12},
+		{N: 6954, P: 256, T: 33},
+	}
+	fit := FitSamplesRel(samples)
+	if fit.A < 0 || fit.B < 0 || fit.C < 0 {
+		t.Fatalf("negative coefficients: %+v", fit)
+	}
+	// The fit must beat the trivial all-zero fit in relative residual
+	// and track every sample within an order of magnitude.
+	for _, s := range samples {
+		got := fit.Predict(s.N, s.P)
+		if got <= 0 || got > 15*s.T || s.T > 15*got {
+			t.Errorf("prediction %v does not track sample %+v", got, s)
+		}
+	}
+}

@@ -759,6 +759,15 @@ func (s *Sim) SolveStokes() krylov.Result {
 // LastMinres returns the most recent Stokes solve result.
 func (s *Sim) LastMinres() krylov.Result { return s.lastMinres }
 
+// PrecondStats identifies the velocity preconditioner the current Stokes
+// solver runs (zero value before the first solve).
+func (s *Sim) PrecondStats() stokes.PrecondStats {
+	if s.solver == nil {
+		return stokes.PrecondStats{}
+	}
+	return s.solver.PrecondStats()
+}
+
 // AdvectSteps advances the temperature n explicit steps with the current
 // velocity field, returning the time step used (collective).
 func (s *Sim) AdvectSteps(n int) float64 {

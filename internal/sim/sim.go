@@ -11,6 +11,17 @@
 // ExScan, Bcast, AlltoallvSparse, NeighborExchange) that every rank must
 // call in the same order.
 //
+// Communicator subsets: Subset derives a communicator spanning a subset
+// of an existing communicator's ranks (the analogue of MPI_Comm_create).
+// Collectives on the subset involve only its members — tree depths are
+// ceil(log2 P_active), and non-members spend nothing — which is how the
+// multigrid agglomerates coarse levels onto shrinking rank groups without
+// idle ranks participating in coarse-level collectives. Every
+// communicator owns a disjoint tag namespace derived deterministically
+// from its creation path, so collectives on different communicators need
+// no ordering relative to each other; SPMD ordering is required only
+// among one communicator's members.
+//
 // Collectives run over point-to-point tree transport with O(log2 P)
 // rounds per rank: Allreduce/Allgather/ExScan/Barrier use a Bruck
 // concatenation (exactly ceil(log2 P) rounds on every rank, any P), Bcast
@@ -59,7 +70,10 @@ type message struct {
 	nbytes    int64
 }
 
-// mbkey identifies one (source, tag) message stream.
+// mbkey identifies one (source, tag) message stream. The source is the
+// sender's rank within the communicator the message belongs to; streams
+// from different communicators cannot collide because every communicator
+// draws tags from its own namespace.
 type mbkey struct{ from, tag int }
 
 // msgq is one stream's FIFO queue; head indexing keeps pop O(1) without
@@ -188,12 +202,22 @@ func (mb *mailbox) takeAny(tag int) message {
 	}
 }
 
-// World is a communicator spanning a fixed number of ranks.
+// World is the full set of ranks of one simulated run: the mailboxes and
+// statistics shared by every communicator derived from it.
 type World struct {
 	size  int
 	boxes []*mailbox
 	stats []Stats
 	statm []sync.Mutex
+
+	// Collective tag namespace registry: every communicator derived via
+	// Subset gets a world-unique tagBase, allocated on first request and
+	// keyed by (parent tagBase, per-parent subset index) so all members
+	// of one subset — who present the same key by the SPMD collective
+	// ordering — resolve to the same namespace without any messages.
+	tagm    sync.Mutex
+	tagReg  map[[2]int64]int64
+	tagNext int64
 }
 
 // NewWorld creates a communicator with the given number of ranks.
@@ -208,7 +232,27 @@ func NewWorld(size int) *World {
 	}
 	w.stats = make([]Stats, size)
 	w.statm = make([]sync.Mutex, size)
+	w.tagReg = make(map[[2]int64]int64)
+	w.tagNext = 2 // 1 is the world communicator's namespace
 	return w
+}
+
+// subsetTag returns the collective tag namespace for the subset derived
+// as the idx-th Subset call on the communicator with namespace parent.
+func (w *World) subsetTag(parent, idx int64) int64 {
+	w.tagm.Lock()
+	defer w.tagm.Unlock()
+	key := [2]int64{parent, idx}
+	if t, ok := w.tagReg[key]; ok {
+		return t
+	}
+	t := w.tagNext
+	w.tagNext++
+	if t >= 1<<30 {
+		panic("sim: communicator tag namespaces exhausted")
+	}
+	w.tagReg[key] = t
+	return t
 }
 
 // Size returns the number of ranks in the world.
@@ -222,7 +266,7 @@ func (w *World) Run(fn func(*Rank)) []Stats {
 	for i := 0; i < w.size; i++ {
 		go func(id int) {
 			defer wg.Done()
-			fn(&Rank{world: w, id: id})
+			fn(&Rank{world: w, id: id, wid: id, tagBase: 1})
 		}(i)
 	}
 	wg.Wait()
@@ -236,26 +280,96 @@ func Run(size int, fn func(*Rank)) []Stats {
 	return NewWorld(size).Run(fn)
 }
 
-// Rank is one process in the simulated world. A Rank value is only valid
-// inside the goroutine World.Run created it for.
+// Rank is one process's handle on a communicator. The handle World.Run
+// passes to the rank function spans the whole world; Subset derives
+// handles over smaller rank groups. A Rank value is only valid inside
+// the goroutine World.Run created it for.
+//
+// Comm is an alias for Rank emphasising the communicator role of derived
+// handles.
 type Rank struct {
 	world   *World
-	id      int
-	collSeq int // collective sequence number; all ranks advance in lockstep
+	id      int   // rank within this communicator; < 0 on a non-member handle
+	wid     int   // rank within the world (mailbox and stats index)
+	ranks   []int // member world ranks by communicator rank; nil for the world
+	tagBase int64 // this communicator's collective tag namespace
+	collSeq int   // collective sequence number; members advance in lockstep
+	subs    int   // sub-communicators created from this one
 }
 
-// ID returns this rank's index in [0, Size).
+// Comm is a communicator handle: the world communicator World.Run hands
+// to each rank, or a subset of one created with Subset.
+type Comm = Rank
+
+// ID returns this rank's index in [0, Size()) within this communicator,
+// or a negative value on a handle held by a non-member.
 func (r *Rank) ID() int { return r.id }
 
-// Size returns the world size.
-func (r *Rank) Size() int { return r.world.size }
+// Size returns the number of ranks in this communicator.
+func (r *Rank) Size() int {
+	if r.ranks == nil {
+		return r.world.size
+	}
+	return len(r.ranks)
+}
 
-// Stats returns a snapshot of this rank's communication statistics.
+// WorldID returns this rank's index in the world communicator.
+func (r *Rank) WorldID() int { return r.wid }
+
+// Member reports whether this rank belongs to the communicator; only
+// members may communicate through the handle.
+func (r *Rank) Member() bool { return r.id >= 0 }
+
+// worldOf maps a communicator rank to its world rank.
+func (r *Rank) worldOf(i int) int {
+	if r.ranks == nil {
+		return i
+	}
+	return r.ranks[i]
+}
+
+// Subset derives a communicator over a subset of this communicator's
+// ranks (the analogue of MPI_Comm_create). members lists the member
+// ranks of this communicator in strictly increasing order; member i of
+// the subset is members[i]. Every member of this communicator must call
+// Subset at the same point in its collective sequence with the identical
+// member list — no messages are exchanged, but the derived communicator's
+// tag namespace is allocated deterministically from the call order.
+// Members receive a handle with ID() == their index in members;
+// non-members receive an inactive handle (Member() == false) that must
+// not be used to communicate.
+func (r *Rank) Subset(members []int) *Comm {
+	if r.id < 0 {
+		panic("sim: Subset on a communicator this rank is not a member of")
+	}
+	if len(members) == 0 {
+		panic("sim: communicator subset must have at least one member")
+	}
+	base := r.world.subsetTag(r.tagBase, int64(r.subs))
+	r.subs++
+	world := make([]int, len(members))
+	myID := -1
+	prev := -1
+	for i, m := range members {
+		if m <= prev || m >= r.Size() {
+			panic("sim: subset members must be strictly increasing ranks of the parent communicator")
+		}
+		prev = m
+		world[i] = r.worldOf(m)
+		if m == r.id {
+			myID = i
+		}
+	}
+	return &Rank{world: r.world, id: myID, wid: r.wid, ranks: world, tagBase: base}
+}
+
+// Stats returns a snapshot of this rank's communication statistics
+// (accumulated across all communicators it participates in).
 func (r *Rank) Stats() Stats {
 	w := r.world
-	w.statm[r.id].Lock()
-	defer w.statm[r.id].Unlock()
-	return w.stats[r.id]
+	w.statm[r.wid].Lock()
+	defer w.statm[r.wid].Unlock()
+	return w.stats[r.wid]
 }
 
 // ceilLog2 returns ceil(log2(p)) for p >= 1.
@@ -272,10 +386,14 @@ func ceilLog2(p int) int {
 func CeilLog2(p int) int { return ceilLog2(p) }
 
 // Tags at or above collTagBase are reserved for collective transport.
+// Each communicator's collective tags live at tagBase<<33 + collTagBase +
+// seq, so distinct communicators draw from disjoint ranges and user tags
+// (which must stay below collTagBase) can never collide with them.
 const collTagBase = 1 << 24
 
-// Send delivers data to rank `to` with the given tag. nbytes is the
-// modeled wire size of the payload, recorded in Stats. Send never blocks.
+// Send delivers data to rank `to` of this communicator with the given
+// tag. nbytes is the modeled wire size of the payload, recorded in
+// Stats. Send never blocks.
 func (r *Rank) Send(to, tag int, data any, nbytes int) {
 	if tag >= collTagBase {
 		panic("sim: user tag collides with collective tag space")
@@ -285,11 +403,15 @@ func (r *Rank) Send(to, tag int, data any, nbytes int) {
 
 // transport delivers one message and records it under a single stats
 // lock acquisition; coll selects the collective-tree vs user category.
+// The message's source stamp is the sender's rank in this communicator.
 func (r *Rank) transport(to, tag int, data any, nbytes int64, coll bool) {
-	r.world.boxes[to].put(message{from: r.id, tag: tag, data: data, nbytes: nbytes})
+	if r.id < 0 {
+		panic("sim: communication on a communicator this rank is not a member of")
+	}
+	r.world.boxes[r.worldOf(to)].put(message{from: r.id, tag: tag, data: data, nbytes: nbytes})
 	w := r.world
-	w.statm[r.id].Lock()
-	s := &w.stats[r.id]
+	w.statm[r.wid].Lock()
+	s := &w.stats[r.wid]
 	s.MsgsSent++
 	s.BytesSent += nbytes
 	if coll {
@@ -299,7 +421,7 @@ func (r *Rank) transport(to, tag int, data any, nbytes int64, coll bool) {
 		s.UserMsgs++
 		s.UserBytes += nbytes
 	}
-	w.statm[r.id].Unlock()
+	w.statm[r.wid].Unlock()
 }
 
 func (r *Rank) sendUser(to, tag int, data any, nbytes int64) {
@@ -310,37 +432,42 @@ func (r *Rank) sendColl(to, tag int, data any, nbytes int64) {
 	r.transport(to, tag, data, nbytes, true)
 }
 
-// Recv blocks until a message from rank `from` with the given tag arrives
-// and returns its payload.
+// Recv blocks until a message from rank `from` of this communicator with
+// the given tag arrives and returns its payload.
 func (r *Rank) Recv(from, tag int) any {
-	return r.world.boxes[r.id].take(from, tag).data
+	return r.world.boxes[r.wid].take(from, tag).data
 }
 
 func (r *Rank) recvColl(from, tag int) any {
-	return r.world.boxes[r.id].take(from, tag).data
+	return r.world.boxes[r.wid].take(from, tag).data
 }
 
 // nextCollTag returns a fresh tag for the next collective. Correct under
-// the SPMD requirement that all ranks invoke collectives in program order.
+// the SPMD requirement that all members of this communicator invoke its
+// collectives in program order; collectives on different communicators
+// need no mutual ordering because their tag namespaces are disjoint.
 func (r *Rank) nextCollTag() int {
-	t := collTagBase + r.collSeq
+	if r.id < 0 {
+		panic("sim: collective on a communicator this rank is not a member of")
+	}
+	t := int(r.tagBase<<33) + collTagBase + r.collSeq
 	r.collSeq++
 	return t
 }
 
 func (r *Rank) countCollective(nbytes int64) {
 	w := r.world
-	w.statm[r.id].Lock()
-	w.stats[r.id].CollectiveCalls++
-	w.stats[r.id].CollectiveBytes += nbytes
-	w.statm[r.id].Unlock()
+	w.statm[r.wid].Lock()
+	w.stats[r.wid].CollectiveCalls++
+	w.stats[r.wid].CollectiveBytes += nbytes
+	w.statm[r.wid].Unlock()
 }
 
 func (r *Rank) bumpRounds(n int) {
 	w := r.world
-	w.statm[r.id].Lock()
-	w.stats[r.id].CollRounds += n
-	w.statm[r.id].Unlock()
+	w.statm[r.wid].Lock()
+	w.stats[r.wid].CollRounds += n
+	w.statm[r.wid].Unlock()
 }
 
 // bruckMsg is one round's payload in the Bruck concatenation: a window of
@@ -357,7 +484,7 @@ type bruckMsg struct {
 // from rank (id+2^k). After the rounds, block j holds rank (id+j)%P's
 // payload; a local rotation restores rank order.
 func (r *Rank) bruckAllgather(tag int, data any, nbytes int64) []any {
-	p := r.world.size
+	p := r.Size()
 	if p == 1 {
 		return []any{data}
 	}
@@ -399,7 +526,7 @@ type treeBundle struct {
 // each non-root rank sends exactly once, rank 0 receives ceil(log2 P)
 // bundles. Returns the rank-indexed payloads on rank 0, nil elsewhere.
 func (r *Rank) gatherTree(tag int, data any, nbytes int64) []any {
-	p := r.world.size
+	p := r.Size()
 	bundle := treeBundle{ranks: []int32{int32(r.id)}, data: []any{data}, size: nbytes}
 	for mask := 1; mask < p; mask <<= 1 {
 		if r.id&mask != 0 {
@@ -426,7 +553,7 @@ func (r *Rank) gatherTree(tag int, data any, nbytes int64) []any {
 // spends at most ceil(log2 P) rounds. All ranks must pass the payload's
 // modeled size (forwarding ranks are charged for their tree sends).
 func (r *Rank) bcastTree(root, tag int, data any, nbytes int64) any {
-	p := r.world.size
+	p := r.Size()
 	if p == 1 {
 		return data
 	}
@@ -455,7 +582,7 @@ func (r *Rank) bcastTree(root, tag int, data any, nbytes int64) any {
 // (binomial reduce to rank 0, then binomial broadcast); exact, so the
 // combine order is irrelevant.
 func (r *Rank) reduceBcastInt64Vec(tagUp, tagDown int, v []int64) []int64 {
-	p := r.world.size
+	p := r.Size()
 	if p == 1 {
 		return v
 	}
@@ -572,16 +699,32 @@ func (r *Rank) AllreduceInt64(v int64) int64 {
 	return acc
 }
 
+// allreduceVecCutoff is the vector length (float64 count) above which
+// AllreduceVec switches from the binomial gather/fold/broadcast tree to
+// recursive-halving reduce-scatter + allgather (power-of-two
+// communicators only). Short vectors are latency-bound and stay on the
+// tree path.
+const allreduceVecCutoff = 1024
+
 // AllreduceVec sums float64 vectors elementwise across ranks. All ranks
 // must pass slices of the same length; every rank receives the total.
-// Vectors are gathered raw up a binomial tree and folded once at rank 0
-// in rank order (deterministic, bit-identical across runs), then the
-// result is tree-broadcast — total traffic O(P·n) rather than the
-// O(P²·n) of an allgather-everywhere.
+//
+// Short vectors are gathered raw up a binomial tree and folded once at
+// rank 0 in rank order, then the result is tree-broadcast — total
+// traffic O(P·n). Long vectors on power-of-two communicators instead use
+// a recursive-halving reduce-scatter followed by a Bruck allgather, so
+// no rank ever receives more than O(n·log2 P) bytes; the per-segment
+// fold still runs in strict rank order, so both paths return bit-
+// identical results (equal to a serial left fold over ranks 0..P-1) in
+// at most 2·ceil(log2 P) rounds.
 func (r *Rank) AllreduceVec(v []float64) []float64 {
 	tag := r.nextCollTag()
 	nb := int64(8 * len(v))
 	r.countCollective(nb)
+	p := r.Size()
+	if p > 1 && p&(p-1) == 0 && len(v) >= allreduceVecCutoff {
+		return r.allreduceVecHalving(tag, v)
+	}
 	all := r.gatherTree(tag, v, nb)
 	var acc []float64
 	if r.id == 0 {
@@ -597,6 +740,82 @@ func (r *Rank) AllreduceVec(v []float64) []float64 {
 	out := make([]float64, len(res))
 	copy(out, res)
 	return out
+}
+
+// rsVecMsg carries rank-stamped raw vector windows during the
+// recursive-halving reduce-scatter.
+type rsVecMsg struct {
+	ranks []int32
+	parts [][]float64
+}
+
+// allreduceVecHalving implements AllreduceVec for power-of-two
+// communicators and long vectors. The recursive halving concatenates the
+// raw rank-stamped contributions instead of pairwise-summing them: after
+// log2 P rounds each rank holds every rank's contribution for its own
+// 1/P segment of the index space and folds them locally in strict rank
+// order — bit-identical to the gather-tree path's rank-0 fold. A Bruck
+// allgather of the folded segments then delivers the full vector to
+// every rank. log2 P + log2 P rounds; every rank sends O(n·log2 P / 2)
+// bytes in the halving phase, eliminating the O(P·n) rank-0 hotspot of
+// the gather tree.
+func (r *Rank) allreduceVecHalving(tag int, v []float64) []float64 {
+	p, n := r.Size(), len(v)
+	tagAG := r.nextCollTag()
+	segStart := func(i int) int { return i * n / p }
+	type contrib struct {
+		rank int32
+		vals []float64 // covers the current window of the index space
+	}
+	// Window of whole segments [slo, shi) this rank still reduces.
+	slo, shi := 0, p
+	held := []contrib{{rank: int32(r.id), vals: v}}
+	for dist := p / 2; dist >= 1; dist /= 2 {
+		partner := r.id ^ dist
+		mid := (slo + shi) / 2
+		cut := segStart(mid) - segStart(slo) // element offset of the split
+		out := rsVecMsg{ranks: make([]int32, len(held)), parts: make([][]float64, len(held))}
+		var nb int64
+		keepLow := r.id&dist == 0
+		for i, c := range held {
+			out.ranks[i] = c.rank
+			if keepLow {
+				out.parts[i] = c.vals[cut:]
+				held[i].vals = c.vals[:cut]
+			} else {
+				out.parts[i] = c.vals[:cut]
+				held[i].vals = c.vals[cut:]
+			}
+			nb += int64(8 * len(out.parts[i]))
+		}
+		if keepLow {
+			shi = mid
+		} else {
+			slo = mid
+		}
+		r.sendColl(partner, tag, out, nb)
+		in := r.recvColl(partner, tag).(rsVecMsg)
+		for i, rk := range in.ranks {
+			held = append(held, contrib{rank: rk, vals: in.parts[i]})
+		}
+		r.bumpRounds(1)
+	}
+	// held now has one contribution per rank for my segment; fold them in
+	// strict rank order (identical to the serial left fold).
+	sort.Slice(held, func(i, j int) bool { return held[i].rank < held[j].rank })
+	segLen := segStart(r.id+1) - segStart(r.id)
+	acc := make([]float64, segLen)
+	for _, c := range held {
+		for j, x := range c.vals {
+			acc[j] += x
+		}
+	}
+	segs := r.bruckAllgather(tagAG, acc, int64(8*segLen))
+	res := make([]float64, n)
+	for i, s := range segs {
+		copy(res[segStart(i):], s.([]float64))
+	}
+	return res
 }
 
 // ExScan returns the exclusive prefix sum of v across ranks: rank i
@@ -647,7 +866,7 @@ func (r *Rank) Bcast(root int, data any, nbytes int) any {
 // counts against).
 func (r *Rank) Alltoall(out []any, nbytes []int) []any {
 	if len(out) != r.Size() {
-		panic("sim: Alltoall payload count != world size")
+		panic("sim: Alltoall payload count != communicator size")
 	}
 	tag := r.nextCollTag()
 	var total int64
@@ -689,7 +908,7 @@ func (r *Rank) Alltoall(out []any, nbytes []int) []any {
 // transport. For a fixed recurring pattern, build the plan once and use
 // NeighborExchange instead to skip the handshake entirely.
 func (r *Rank) AlltoallvSparse(dests []int, payloads []any, nbytes []int) ([]int, []any) {
-	p := r.world.size
+	p := r.Size()
 	tagUp, tagDown, tagPay := r.nextCollTag(), r.nextCollTag(), r.nextCollTag()
 	counts := make([]int64, p)
 	var selfIdx []int
@@ -719,7 +938,7 @@ func (r *Rank) AlltoallvSparse(dests []int, payloads []any, nbytes []int) ([]int
 	}
 	ins := make([]inMsg, 0, nIn+len(selfIdx))
 	for i := 0; i < nIn; i++ {
-		m := r.world.boxes[r.id].takeAny(tagPay)
+		m := r.world.boxes[r.wid].takeAny(tagPay)
 		ins = append(ins, inMsg{m.from, m.data})
 	}
 	for _, k := range selfIdx {

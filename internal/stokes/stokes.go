@@ -31,6 +31,7 @@
 package stokes
 
 import (
+	"fmt"
 	"math"
 
 	"rhea/internal/amg"
@@ -259,9 +260,18 @@ func Setup(m *mesh.Mesh, dom fem.Domain, bc VelBC, opts Options) *Solver {
 
 	if opts.Precond == PrecondGMG {
 		// Level meshes, transfer stencils and the per-component V-cycle
-		// structure; smoother diagonals and the coarse AMG wait for the
-		// first Update/Rebuild.
+		// structure; smoother diagonals and the distributed coarse solve
+		// wait for the first Update/Rebuild.
 		s.GMGH = gmg.NewHierarchy(m, dom, opts.GMG)
+		if s.GMGH.Degenerate() {
+			// The caller asked for GMG; a hierarchy whose coarsest level
+			// is still large would quietly cost per-iteration work the
+			// method promises to avoid. Fail loudly instead.
+			le := s.GMGH.LevelElems()
+			panic(fmt.Sprintf(
+				"stokes: GMG hierarchy is degenerate — coarsening stopped at %d global elements (target <= %d) after %d levels",
+				le[len(le)-1], s.GMGH.CoarseTarget(), s.GMGH.NumLevels()))
+		}
 		for c := 0; c < 3; c++ {
 			s.velPC[c] = s.GMGH.Precond(s.compBC[c])
 		}
@@ -539,6 +549,37 @@ func (s *Solver) NodeSlots() *matfree.SlotMap { return s.nodeSM }
 // prescribes the velocity Dirichlet conditions.
 func Assemble(m *mesh.Mesh, dom fem.Domain, etaElem []float64, force [][8][3]float64, bc VelBC, opts Options) *Solver {
 	return Setup(m, dom, bc, opts).Update(etaElem, force)
+}
+
+// PrecondStats identifies the velocity-block preconditioner a Solver
+// actually runs — so scaling experiments can assert (and report) that
+// GMG really preconditioned a run instead of silently standing in for a
+// cheaper fallback.
+type PrecondStats struct {
+	Kind        string `json:"kind"` // "gmg", "amg-redundant" or "amg-local"
+	GMGLevels   int    `json:"gmg_levels,omitempty"`
+	CoarseElems int64  `json:"coarse_elems,omitempty"`
+	CoarseRanks int    `json:"coarse_ranks,omitempty"`
+	Degenerate  bool   `json:"degenerate,omitempty"`
+}
+
+// PrecondStats reports the active velocity preconditioner (identical on
+// every rank).
+func (s *Solver) PrecondStats() PrecondStats {
+	if s.GMGH != nil {
+		le := s.GMGH.LevelElems()
+		return PrecondStats{
+			Kind:        "gmg",
+			GMGLevels:   s.GMGH.NumLevels(),
+			CoarseElems: le[len(le)-1],
+			CoarseRanks: s.GMGH.CoarseRanks(),
+			Degenerate:  s.GMGH.Degenerate(),
+		}
+	}
+	if s.opts.LocalAMG {
+		return PrecondStats{Kind: "amg-local"}
+	}
+	return PrecondStats{Kind: "amg-redundant"}
 }
 
 // Precond returns the block-diagonal preconditioner operator P^-1.
