@@ -19,10 +19,10 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 2,5,6,7,8,9,10,sec6,12,sec7,matfree,gmg,timeloop,shell,scaling or all")
+	fig := flag.String("fig", "all", "which experiment: 2,5,6,7,8,9,10,sec6,12,sec7,matfree,gmg,timeloop,shell,scaling,kernels or all")
 	scaleFlag := flag.String("scale", "small", "small or full")
-	jsonOut := flag.Bool("json", false, "write BENCH_scaling.json when the scaling experiment runs")
-	jsonPath := flag.String("jsonpath", "BENCH_scaling.json", "output path for -json")
+	jsonOut := flag.Bool("json", false, "write BENCH_scaling.json / BENCH_kernels.json when the scaling or kernels experiment runs")
+	jsonPath := flag.String("jsonpath", "", "output path for -json (default BENCH_scaling.json / BENCH_kernels.json per experiment)")
 	weakPer := flag.Int64("weakper", 24, "scaling figure: weak-series elements per rank")
 	weakMax := flag.Int("weakmax", 0, "scaling figure: largest weak-series rank count (0 = 256, or 512 at -scale full)")
 	flag.Parse()
@@ -76,11 +76,30 @@ func main() {
 		t, cases, fit := experiments.FigScalingOpts(scale, *weakPer, *weakMax)
 		t.Print(w)
 		if *jsonOut {
-			if err := experiments.WriteScalingJSON(*jsonPath, cases, fit); err != nil {
+			path := *jsonPath
+			if path == "" {
+				path = "BENCH_scaling.json"
+			}
+			if err := experiments.WriteScalingJSON(path, cases, fit); err != nil {
 				fmt.Fprintf(os.Stderr, "alpsbench: %v\n", err)
 				os.Exit(1)
 			}
-			fmt.Fprintf(w, "  wrote %s\n", *jsonPath)
+			fmt.Fprintf(w, "  wrote %s\n", path)
+		}
+	})
+	run("kernels", func() {
+		t, cases := experiments.FigKernels(scale)
+		t.Print(w)
+		if *jsonOut {
+			path := *jsonPath
+			if path == "" {
+				path = "BENCH_kernels.json"
+			}
+			if err := experiments.WriteKernelsJSON(path, cases); err != nil {
+				fmt.Fprintf(os.Stderr, "alpsbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(w, "  wrote %s\n", path)
 		}
 	})
 	fmt.Fprintln(w)

@@ -29,6 +29,7 @@ func main() {
 	precond := flag.String("precond", "amg", "velocity-block preconditioner: amg (assembled) or gmg (matrix-free geometric multigrid)")
 	localamg := flag.Bool("localamg", false, "per-rank block-Jacobi AMG hierarchies instead of the redundant global hierarchy (cheaper setup, more iterations)")
 	noreuse := flag.Bool("noreuse", false, "rebuild the full Stokes solver setup every Picard iteration instead of caching the mesh-dependent half")
+	order := flag.Int("order", 1, "velocity element order: 1 for the stabilized equal-order Q1-Q1 pair, 2 for the Taylor-Hood Q2-Q1 pair (requires -matfree -precond gmg; runs on a uniform mesh at -base, no AMR)")
 	flag.Parse()
 
 	var pk stokes.PrecondKind
@@ -39,6 +40,14 @@ func main() {
 		pk = stokes.PrecondGMG
 	default:
 		fmt.Printf("unknown -precond %q (want amg or gmg)\n", *precond)
+		os.Exit(2)
+	}
+	if *order != 1 && *order != 2 {
+		fmt.Printf("unknown -order %d (want 1 or 2)\n", *order)
+		os.Exit(2)
+	}
+	if *order == 2 && (!*matfree || pk != stokes.PrecondGMG) {
+		fmt.Println("-order 2 requires -matfree -precond gmg")
 		os.Exit(2)
 	}
 
@@ -64,10 +73,18 @@ func main() {
 		Precond:     pk,
 		LocalAMG:    *localamg,
 		NoReuse:     *noreuse,
+		Order:       *order,
+	}
+	if *order == 2 {
+		// The Q2 node layer needs a conforming mesh: pin the octree at the
+		// base level and skip the initial adaptation pass.
+		cfg.MinLevel = uint8(*base)
+		cfg.MaxLevel = uint8(*base)
+		cfg.InitAdapt = -1
 	}
 
-	fmt.Printf("RHEA: %d ranks, Ra=%.1e, yield=%.1e, levels %d..%d, target %d elements\n",
-		*ranks, *ra, *sigmaY, *base, *maxLevel, *target)
+	fmt.Printf("RHEA: %d ranks, Ra=%.1e, yield=%.1e, order %d, levels %d..%d, target %d elements\n",
+		*ranks, *ra, *sigmaY, *order, cfg.MinLevel, cfg.MaxLevel, *target)
 
 	sim.Run(*ranks, func(r *sim.Rank) {
 		s := rhea.New(r, cfg)

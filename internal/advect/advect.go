@@ -89,6 +89,26 @@ func (p *Problem) ApplyBC(T *la.Vec) {
 	}
 }
 
+// cornerVelStats reduces the eight corner velocities of an element to
+// the statistics the SUPG parameter and the stability limit need: the
+// maximum corner speed, the element-mean velocity, and the per-axis
+// maximum of |u_d| (the directional advective limit).
+func cornerVelStats(u *[8][3]float64) (umax float64, ubar, uAxisMax [3]float64) {
+	for c := 0; c < 8; c++ {
+		n := math.Sqrt(u[c][0]*u[c][0] + u[c][1]*u[c][1] + u[c][2]*u[c][2])
+		if n > umax {
+			umax = n
+		}
+		for d := 0; d < 3; d++ {
+			ubar[d] += u[c][d] / 8
+			if a := math.Abs(u[c][d]); a > uAxisMax[d] {
+				uAxisMax[d] = a
+			}
+		}
+	}
+	return
+}
+
 // RateOfChange computes dT/dt = M_L^-1 [ F - (K + G + S) T ] with zero
 // rate at Dirichlet nodes (collective).
 func (p *Problem) RateOfChange(T *la.Vec) *la.Vec {
@@ -101,19 +121,12 @@ func (p *Problem) RateOfChange(T *la.Vec) *la.Vec {
 			Tc[c] = p.M.CornerValue(vals, ei, c)
 		}
 		u := &p.Vel[ei]
-		var umax float64
-		for c := 0; c < 8; c++ {
-			n := math.Sqrt(u[c][0]*u[c][0] + u[c][1]*u[c][1] + u[c][2]*u[c][2])
-			if n > umax {
-				umax = n
-			}
-		}
+		umax, ubar, _ := cornerVelStats(u)
 		var K, G, S [8][8]float64
 		var lm [8]float64
 		if p.geos != nil {
 			g := p.geos[ei]
-			hm := [3]float64{g.Hmin, g.Hmin, g.Hmin}
-			tau := fem.SUPGTau(hm, umax, p.Kappa)
+			tau := fem.SUPGTauAniso(g.H, ubar, umax, p.Kappa)
 			K = fem.StiffnessGeom(g, p.Kappa)
 			G = fem.AdvectionGeom(g, u)
 			S = fem.SUPGGeom(g, u, tau)
@@ -122,7 +135,7 @@ func (p *Problem) RateOfChange(T *la.Vec) *la.Vec {
 			}
 		} else {
 			h := p.Dom.ElemSize(leaf)
-			tau := fem.SUPGTau(h, umax, p.Kappa)
+			tau := fem.SUPGTauAniso(h, ubar, umax, p.Kappa)
 			K = fem.StiffnessBrick(h, p.Kappa)
 			G = fem.AdvectionBrick(h, u)
 			S = fem.SUPGBrick(h, u, tau)
@@ -157,28 +170,36 @@ func (p *Problem) RateOfChange(T *la.Vec) *la.Vec {
 }
 
 // StableDt returns the global explicit stability limit scaled by cfl
-// (collective): min over elements of min(h/|u|, h^2/(6 kappa)).
+// (collective). The advective limit is directional — min_d h_d /
+// max|u_d| — so thin elements do not throttle transport along their
+// long axes; isotropic elements reduce to the classical h/|u| exactly
+// (bitwise, for the pinned box regressions). The diffusive limit keeps
+// the conservative shortest edge: h_min^2/(6 kappa).
 func (p *Problem) StableDt(cfl float64) float64 {
 	local := math.Inf(1)
 	for ei, leaf := range p.M.Leaves {
+		var h [3]float64
 		var hm float64
 		if p.geos != nil {
-			hm = p.geos[ei].Hmin
+			h = p.geos[ei].H
+			hm = p.geos[ei].Hmin // true shortest edge for the diffusive limit
 		} else {
-			h := p.Dom.ElemSize(leaf)
+			h = p.Dom.ElemSize(leaf)
 			hm = math.Min(h[0], math.Min(h[1], h[2]))
 		}
 		u := &p.Vel[ei]
-		var umax float64
-		for c := 0; c < 8; c++ {
-			n := math.Sqrt(u[c][0]*u[c][0] + u[c][1]*u[c][1] + u[c][2]*u[c][2])
-			if n > umax {
-				umax = n
-			}
-		}
+		umax, _, uAxisMax := cornerVelStats(u)
 		dt := math.Inf(1)
-		if umax > 0 {
-			dt = hm / umax
+		if h[0] == h[1] && h[2] == h[1] {
+			if umax > 0 {
+				dt = hm / umax
+			}
+		} else {
+			for d := 0; d < 3; d++ {
+				if uAxisMax[d] > 0 {
+					dt = math.Min(dt, h[d]/uAxisMax[d])
+				}
+			}
 		}
 		if p.Kappa > 0 {
 			dt = math.Min(dt, hm*hm/(6*p.Kappa))

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFigKernels runs the kernel throughput study at the small scale and
+// checks the structural invariants: all four cases present with positive
+// throughput, and the sum-factorized element kernel strictly faster than
+// the dense reference. (The >= 2x acceptance gate is asserted on the
+// committed BENCH_kernels.json from a quiet machine, not here, where CI
+// noise at the small apply count would make it flaky.)
+func TestFigKernels(t *testing.T) {
+	tab, cases := FigKernels(Small)
+	if tab == nil || len(tab.Rows) != len(cases) {
+		t.Fatalf("table rows %d do not match cases %d", len(tab.Rows), len(cases))
+	}
+	byName := map[string]KernelCase{}
+	for _, c := range cases {
+		if c.SecondsPerApply <= 0 || c.ElemPerS <= 0 || c.DofPerS <= 0 {
+			t.Errorf("%s: non-positive timing: %+v", c.Kernel, c)
+		}
+		byName[c.Kernel] = c
+	}
+	for _, name := range []string{"q2-naive", "q2-sumfactor", "op-q1", "op-q2"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("missing kernel case %q", name)
+		}
+	}
+	sf := byName["q2-sumfactor"]
+	if sf.SpeedupVsNaive <= 1 {
+		t.Errorf("sum factorization not faster than dense reference: speedup %.3f", sf.SpeedupVsNaive)
+	}
+	if byName["q2-naive"].SpeedupVsNaive != 1 {
+		t.Errorf("naive reference speedup must be 1, got %v", byName["q2-naive"].SpeedupVsNaive)
+	}
+	// Both operators ran on the same mesh: same element count, Q2 dofs
+	// strictly more than Q1 dofs.
+	q1, q2 := byName["op-q1"], byName["op-q2"]
+	if q1.Elements != q2.Elements || q2.Dofs <= q1.Dofs {
+		t.Errorf("operator cases inconsistent: q1 %+v, q2 %+v", q1, q2)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_kernels.json")
+	if err := WriteKernelsJSON(path, cases); err != nil {
+		t.Fatalf("WriteKernelsJSON: %v", err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read json: %v", err)
+	}
+	var rec KernelsJSON
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(rec.Cases) != len(cases) || rec.Generated == "" {
+		t.Errorf("json record incomplete: %+v", rec)
+	}
+}

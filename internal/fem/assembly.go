@@ -25,6 +25,18 @@ func (d Domain) Coord(p [3]uint32) [3]float64 {
 	}
 }
 
+// CoordHalf converts a half-unit (Q2 layer) node position to physical
+// coordinates. Both scale factors are exact powers of two, so at even
+// positions the result is bitwise identical to Coord of the vertex.
+func (d Domain) CoordHalf(p2 [3]uint32) [3]float64 {
+	s := 0.5 / float64(morton.RootLen)
+	return [3]float64{
+		float64(p2[0]) * s * d.Box[0],
+		float64(p2[1]) * s * d.Box[1],
+		float64(p2[2]) * s * d.Box[2],
+	}
+}
+
 // ElemSize returns the physical edge lengths of an element.
 func (d Domain) ElemSize(o morton.Octant) [3]float64 {
 	s := float64(o.Len()) / float64(morton.RootLen)

@@ -294,3 +294,37 @@ func SUPGTau(h [3]float64, unorm, kappa float64) float64 {
 	tauDiff := hm * hm / (12 * kappa)
 	return math.Min(tauAdv, tauDiff)
 }
+
+// SUPGTauAniso is the directional SUPG parameter for anisotropic
+// elements: the advective length scale is the element extent in the
+// flow direction, h_dir = |ubar| / sqrt(sum_d (ubar_d/h_d)^2) for the
+// element-mean velocity ubar, so a thin element aligned with the flow
+// no longer collapses tau to its shortest edge. Isotropic elements take
+// the SUPGTau path unchanged (bitwise — the pinned physics regressions
+// on box meshes rely on it); the diffusive limit keeps the conservative
+// shortest edge in both branches.
+func SUPGTauAniso(h, ubar [3]float64, unorm, kappa float64) float64 {
+	if h[0] == h[1] && h[2] == h[1] {
+		return SUPGTau(h, unorm, kappa)
+	}
+	if unorm < 1e-300 {
+		return 0
+	}
+	hm := math.Min(h[0], math.Min(h[1], h[2]))
+	hdir := hm // rotational corner velocities can cancel in the mean
+	var s, un2 float64
+	for d := 0; d < 3; d++ {
+		r := ubar[d] / h[d]
+		s += r * r
+		un2 += ubar[d] * ubar[d]
+	}
+	if s > 0 {
+		hdir = math.Sqrt(un2 / s)
+	}
+	tauAdv := hdir / (2 * unorm)
+	if kappa <= 0 {
+		return tauAdv
+	}
+	tauDiff := hm * hm / (12 * kappa)
+	return math.Min(tauAdv, tauDiff)
+}

@@ -20,6 +20,12 @@ type ElemGeom struct {
 	// Hmin is the shortest physical edge, used for SUPG parameters and
 	// explicit stability limits.
 	Hmin float64
+	// H holds the directional physical extents — the mean length of the
+	// four edges along each reference axis. On anisotropic elements
+	// (shell meshes refine radially long before laterally) collapsing
+	// these to Hmin makes SUPG parameters and advective time-step limits
+	// needlessly conservative in the long directions.
+	H [3]float64
 	// Center-point data for midpoint sampling (strain rates,
 	// diagnostics): physical shape gradients, |det J| and the physical
 	// center, cached here so per-iteration hot paths never re-invert the
@@ -91,15 +97,17 @@ func NewElemGeom(X *[8][3]float64) *ElemGeom {
 		g.Vol += g.Q[qi].W
 	}
 	g.Hmin = math.Inf(1)
-	for _, e := range elemEdges {
+	for en, e := range elemEdges {
 		var d2 float64
 		for i := 0; i < 3; i++ {
 			d := X[e[0]][i] - X[e[1]][i]
 			d2 += d * d
 		}
-		if l := math.Sqrt(d2); l < g.Hmin {
+		l := math.Sqrt(d2)
+		if l < g.Hmin {
 			g.Hmin = l
 		}
+		g.H[en/4] += l / 4 // elemEdges lists 4 x-edges, then 4 y, then 4 z
 	}
 	g.Gc, g.DetC = CenterGradients(X)
 	for c := 0; c < 8; c++ {
@@ -285,7 +293,7 @@ func SUPGGeom(g *ElemGeom, u *[8][3]float64, tau float64) [8][8]float64 {
 // fused StokesKernels.Apply as the brick path.
 func NewStokesKernelsGeom(g *ElemGeom) *StokesKernels {
 	return &StokesKernels{
-		H:  [3]float64{g.Hmin, g.Hmin, g.Hmin},
+		H:  g.H,
 		Av: ViscousGeom(g, 1),
 		Bd: DivergenceGeom(g),
 		Cs: StabilizationGeom(g, 1),

@@ -56,10 +56,96 @@ type Operator struct {
 	bcval    []float64 // len nSlots*4: Dirichlet values at constrained dofs
 	ownFixed []int32   // owned dof indices with identity rows
 
+	pool   *pool
+	xbuf   []float64                               // nSlots*4 gathered input
+	loopFn func(w, lo, hi int, src, dst []float64) // bound elementLoop (avoids a per-Apply method-value allocation)
+}
+
+// pool is the in-rank worker pool matrix-free element loops run on:
+// static Morton-contiguous element chunks per worker, per-worker
+// accumulators, and a deterministic two-phase reduction. The Q1 coupled
+// operator, the Q2 (27-node) operator and their right-hand-side loops
+// all share it; the loop callback receives its worker index so
+// higher-order kernels can use per-worker scratch without allocating.
+type pool struct {
 	workers int
-	xbuf    []float64   // nSlots*4 gathered input
-	acc     [][]float64 // per-worker accumulators, nSlots*4 each
-	chunks  [][2]int    // static Morton-contiguous element ranges per worker
+	chunks  [][2]int    // element ranges per worker
+	acc     [][]float64 // per-worker accumulators, nfloats each
+}
+
+// newPool sizes the worker pool: explicit count, or NumCPU()/worldSize
+// (at least 1) so in-rank cores left idle by the rank decomposition
+// contribute, clamped to the element count. nfloats is the slot-space
+// accumulator length.
+func newPool(workers, worldSize, ne, nfloats int) *pool {
+	p := &pool{workers: workers}
+	if p.workers <= 0 {
+		p.workers = runtime.NumCPU() / worldSize
+	}
+	if p.workers > ne && ne > 0 {
+		p.workers = ne
+	}
+	if p.workers < 1 {
+		p.workers = 1
+	}
+	// Static Morton-contiguous chunks: deterministic accumulation order
+	// regardless of goroutine scheduling.
+	for w := 0; w < p.workers; w++ {
+		p.chunks = append(p.chunks, [2]int{ne * w / p.workers, ne * (w + 1) / p.workers})
+	}
+	p.acc = make([][]float64, p.workers)
+	for w := range p.acc {
+		p.acc[w] = make([]float64, nfloats)
+	}
+	return p
+}
+
+// run executes loop over all chunks and reduces the per-worker
+// accumulators into acc[0], returning it. The single-worker path runs
+// inline (no goroutines, no allocation); the reduction sums buffers in
+// fixed worker order, so results are bitwise independent of scheduling.
+func (p *pool) run(src []float64, loop func(w, lo, hi int, src, dst []float64)) []float64 {
+	if p.workers == 1 {
+		acc := p.acc[0]
+		for i := range acc {
+			acc[i] = 0
+		}
+		loop(0, p.chunks[0][0], p.chunks[0][1], src, acc)
+		return acc
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			acc := p.acc[w]
+			for i := range acc {
+				acc[i] = 0
+			}
+			loop(w, p.chunks[w][0], p.chunks[w][1], src, acc)
+		}(w)
+	}
+	wg.Wait()
+	// Parallel reduction: each worker sums a contiguous slot range across
+	// all buffers into acc[0], in fixed worker order (deterministic).
+	n := len(p.acc[0])
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := n * w / p.workers
+			hi := n * (w + 1) / p.workers
+			dst := p.acc[0][lo:hi]
+			for v := 1; v < p.workers; v++ {
+				srcv := p.acc[v][lo:hi]
+				for i := range dst {
+					dst[i] += srcv[i]
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return p.acc[0]
 }
 
 // New builds the operator for the extracted mesh, per-element viscosity
@@ -99,37 +185,14 @@ func New(m *mesh.Mesh, dom fem.Domain, layout *la.Layout, etaElem []float64, bc 
 		}
 	}
 
-	op.workers = opts.Workers
-	if op.workers <= 0 {
-		op.workers = runtime.NumCPU() / m.Rank.Size()
-		if op.workers < 1 {
-			op.workers = 1
-		}
-	}
-	if op.workers > len(m.Leaves) && len(m.Leaves) > 0 {
-		op.workers = len(m.Leaves)
-	}
-	if op.workers < 1 {
-		op.workers = 1
-	}
-	// Static Morton-contiguous chunks: deterministic accumulation order
-	// regardless of goroutine scheduling.
-	ne := len(m.Leaves)
-	for w := 0; w < op.workers; w++ {
-		lo := ne * w / op.workers
-		hi := ne * (w + 1) / op.workers
-		op.chunks = append(op.chunks, [2]int{lo, hi})
-	}
+	op.pool = newPool(opts.Workers, m.Rank.Size(), len(m.Leaves), op.nSlots*4)
 	op.xbuf = make([]float64, op.nSlots*4)
-	op.acc = make([][]float64, op.workers)
-	for w := range op.acc {
-		op.acc[w] = make([]float64, op.nSlots*4)
-	}
+	op.loopFn = op.elementLoop
 	return op
 }
 
 // Workers returns the in-rank worker count the element loop uses.
-func (op *Operator) Workers() int { return op.workers }
+func (op *Operator) Workers() int { return op.pool.workers }
 
 // SetViscosity replaces the per-element viscosity the cached unit kernels
 // are scaled by (local, free). The mesh-dependent state — slot maps,
@@ -139,7 +202,7 @@ func (op *Operator) SetViscosity(etaElem []float64) { op.eta = etaElem }
 
 // elementLoop runs ye = A_e xe over elements [lo,hi), accumulating into
 // dst through the constraint weights.
-func (op *Operator) elementLoop(lo, hi int, src, dst []float64) {
+func (op *Operator) elementLoop(_, lo, hi int, src, dst []float64) {
 	var xe, ye [32]float64
 	for ei := lo; ei < hi; ei++ {
 		cs := &op.corners[ei]
@@ -171,52 +234,6 @@ func (op *Operator) elementLoop(lo, hi int, src, dst []float64) {
 	}
 }
 
-// runParallel executes loop over all chunks and reduces the per-worker
-// accumulators into op.acc[0].
-func (op *Operator) runParallel(src []float64, loop func(lo, hi int, src, dst []float64)) []float64 {
-	if op.workers == 1 {
-		acc := op.acc[0]
-		for i := range acc {
-			acc[i] = 0
-		}
-		loop(0, len(op.corners), src, acc)
-		return acc
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < op.workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			acc := op.acc[w]
-			for i := range acc {
-				acc[i] = 0
-			}
-			loop(op.chunks[w][0], op.chunks[w][1], src, acc)
-		}(w)
-	}
-	wg.Wait()
-	// Parallel reduction: each worker sums a contiguous slot range across
-	// all buffers into acc[0], in fixed worker order (deterministic).
-	n := op.nSlots * 4
-	for w := 0; w < op.workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			lo := n * w / op.workers
-			hi := n * (w + 1) / op.workers
-			dst := op.acc[0][lo:hi]
-			for v := 1; v < op.workers; v++ {
-				srcv := op.acc[v][lo:hi]
-				for i := range dst {
-					dst[i] += srcv[i]
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	return op.acc[0]
-}
-
 // Apply computes y = A x for the Dirichlet-eliminated coupled Stokes
 // operator (collective). It matches the assembled CSR of stokes.Assemble
 // to rounding: constrained columns are read as zero and constrained owned
@@ -229,7 +246,7 @@ func (op *Operator) Apply(x, y *la.Vec) {
 	for _, idx := range op.fixedIdx {
 		op.xbuf[idx] = 0
 	}
-	acc := op.runParallel(op.xbuf, op.elementLoop)
+	acc := op.pool.run(op.xbuf, op.loopFn)
 	copy(y.Data, acc[:op.nOwned*4])
 	op.gx.ScatterAdd(acc[op.nOwned*4:], y.Data)
 	// Identity rows for owned constrained dofs.
@@ -242,8 +259,8 @@ func (op *Operator) Apply(x, y *la.Vec) {
 // consistent body-force loads minus the raw operator applied to the
 // Dirichlet lift in src, accumulated into dst through the constraint
 // weights.
-func (op *Operator) rhsLoop(force [][8][3]float64, zeroLift bool) func(lo, hi int, src, dst []float64) {
-	return func(lo, hi int, src, dst []float64) {
+func (op *Operator) rhsLoop(force [][8][3]float64, zeroLift bool) func(w, lo, hi int, src, dst []float64) {
+	return func(_, lo, hi int, src, dst []float64) {
 		var xe, ye [32]float64
 		for ei := lo; ei < hi; ei++ {
 			cs := &op.corners[ei]
@@ -324,7 +341,7 @@ func (op *Operator) RHS(force [][8][3]float64) *la.Vec {
 			zeroLift = false
 		}
 	}
-	acc := op.runParallel(op.xbuf, op.rhsLoop(force, zeroLift))
+	acc := op.pool.run(op.xbuf, op.rhsLoop(force, zeroLift))
 	b := la.NewVec(op.layout)
 	copy(b.Data, acc[:op.nOwned*4])
 	op.gx.ScatterAdd(acc[op.nOwned*4:], b.Data)

@@ -1,0 +1,363 @@
+package matfree_test
+
+// Direct unit tests for the matrix-free element-loop operators: the Q1
+// coupled apply against an explicitly assembled CSR (on an adapted mesh,
+// so hanging-node constraint weights are exercised), the sum-factorized
+// Q2 apply against a CSR assembled from the naive dense reference
+// kernels, slot-map invariants, and allocation-freeness of the hot
+// apply path.
+
+import (
+	"math"
+	"testing"
+
+	"rhea/internal/fem"
+	"rhea/internal/la"
+	"rhea/internal/matfree"
+	"rhea/internal/mesh"
+	"rhea/internal/morton"
+	"rhea/internal/octree"
+	"rhea/internal/sim"
+)
+
+// q1TestBC pins the pressure at gid 0 and (single-rank use) fixes all
+// velocity components of boundary nodes to zero.
+func q1TestBC(m *mesh.Mesh) matfree.DofBC {
+	return func(g int64, c int) (float64, bool) {
+		if c == 3 {
+			return 0, g == 0
+		}
+		p := m.OwnedPos[g-m.Offset]
+		for d := 0; d < 3; d++ {
+			if p[d] == 0 || p[d] == morton.RootLen {
+				return 0, true
+			}
+		}
+		return 0, false
+	}
+}
+
+// assembleQ1 builds the eliminated coupled Q1 CSR the way the stokes
+// assembled path does: brick kernels, hanging-node weights, skipped
+// constrained rows/columns and identity diagonals.
+func assembleQ1(m *mesh.Mesh, dom fem.Domain, layout *la.Layout, eta []float64, bc matfree.DofBC) *la.Mat {
+	A := la.NewMat(layout)
+	for ei, leaf := range m.Leaves {
+		h := dom.ElemSize(leaf)
+		Av := fem.ViscousBrick(h, eta[ei])
+		Bd := fem.DivergenceBrick(h)
+		Cs := fem.StabilizationBrick(h, eta[ei])
+		cs := &m.Corners[ei]
+		for a := 0; a < 8; a++ {
+			for ia := 0; ia < int(cs[a].N); ia++ {
+				ga, wa := cs[a].GID[ia], cs[a].W[ia]
+				for i := 0; i < 3; i++ {
+					if _, is := bc(ga, i); is {
+						continue
+					}
+					row := 4*ga + int64(i)
+					for b := 0; b < 8; b++ {
+						for ib := 0; ib < int(cs[b].N); ib++ {
+							gb, wb := cs[b].GID[ib], cs[b].W[ib]
+							w := wa * wb
+							for j := 0; j < 3; j++ {
+								if _, is := bc(gb, j); is {
+									continue
+								}
+								if v := w * Av[3*a+i][3*b+j]; v != 0 {
+									A.AddValue(row, 4*gb+int64(j), v)
+								}
+							}
+							if _, is := bc(gb, 3); !is {
+								if v := w * Bd[b][3*a+i]; v != 0 {
+									A.AddValue(row, 4*gb+3, v)
+								}
+							}
+						}
+					}
+				}
+				if _, is := bc(ga, 3); is {
+					continue
+				}
+				prow := 4*ga + 3
+				for b := 0; b < 8; b++ {
+					for ib := 0; ib < int(cs[b].N); ib++ {
+						gb, wb := cs[b].GID[ib], cs[b].W[ib]
+						w := wa * wb
+						for j := 0; j < 3; j++ {
+							if _, is := bc(gb, j); is {
+								continue
+							}
+							if v := w * Bd[a][3*b+j]; v != 0 {
+								A.AddValue(prow, 4*gb+int64(j), v)
+							}
+						}
+						if _, is := bc(gb, 3); !is {
+							if v := -w * Cs[a][b]; v != 0 {
+								A.AddValue(prow, 4*gb+3, v)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	for i := 0; i < m.NumOwned; i++ {
+		g := m.Offset + int64(i)
+		for c := 0; c < 4; c++ {
+			if _, is := bc(g, c); is {
+				A.AddValue(4*g+int64(c), 4*g+int64(c), 1)
+			}
+		}
+	}
+	A.Assemble()
+	return A
+}
+
+func fillTestVec(x *la.Vec) {
+	for i := range x.Data {
+		g := float64(x.Layout.Start() + int64(i))
+		x.Data[i] = math.Sin(1.3*g) + 0.1*math.Cos(7*g)
+	}
+}
+
+func maxAbsDiff(a, b *la.Vec) (diff, scale float64) {
+	for i := range a.Data {
+		diff = math.Max(diff, math.Abs(a.Data[i]-b.Data[i]))
+		scale = math.Max(scale, math.Abs(a.Data[i]))
+	}
+	return
+}
+
+// TestQ1ApplyMatchesAssembled compares the matrix-free Q1 apply against
+// the explicitly assembled CSR on an adapted (hanging-node) mesh.
+func TestQ1ApplyMatchesAssembled(t *testing.T) {
+	sim.Run(1, func(r *sim.Rank) {
+		tr := octree.New(r, 2)
+		tr.Refine(func(o morton.Octant) bool { return o.X == 0 && o.Y == 0 && o.Z == 0 })
+		tr.Balance()
+		tr.Partition()
+		m := mesh.Extract(tr)
+		dom := fem.UnitDomain
+		layout := la.NewLayout(r, 4*m.NumOwned)
+		eta := make([]float64, len(m.Leaves))
+		for i := range eta {
+			eta[i] = 1 + 0.5*math.Sin(float64(i))
+		}
+		bc := q1TestBC(m)
+		op := matfree.New(m, dom, layout, eta, bc, matfree.Options{})
+		A := assembleQ1(m, dom, layout, eta, bc)
+
+		x := la.NewVec(layout)
+		fillTestVec(x)
+		y1, y2 := la.NewVec(layout), la.NewVec(layout)
+		op.Apply(x, y1)
+		A.Apply(x, y2)
+		if diff, scale := maxAbsDiff(y1, y2); diff > 1e-10*math.Max(scale, 1) {
+			t.Errorf("Q1 matrix-free apply differs from assembled: max diff %v (scale %v)", diff, scale)
+		}
+	})
+}
+
+// TestQ2ApplyMatchesAssembledNaive assembles the global Taylor-Hood CSR
+// from the naive dense reference kernels (fem.Q2StokesKernels) and
+// checks the distributed sum-factorized apply against it to 1e-10.
+func TestQ2ApplyMatchesAssembledNaive(t *testing.T) {
+	sim.Run(2, func(r *sim.Rank) {
+		tr := octree.New(r, 2)
+		m := mesh.Extract(tr)
+		q2 := mesh.ExtractQ2(tr, m)
+		m.Q2 = q2
+		dom := fem.UnitDomain
+		layout := la.NewLayout(r, 4*q2.NumOwned)
+		eta := make([]float64, len(m.Leaves))
+		for i := range eta {
+			eta[i] = 1 + 0.5*math.Sin(float64(i))
+		}
+		bc := func(g int64, c int) (float64, bool) {
+			p2 := q2.RefPos(g)
+			if c == 3 {
+				return 0, g == 0 || !q2.IsVertex(p2)
+			}
+			for d := 0; d < 3; d++ {
+				if p2[d] == 0 || p2[d] == 2*morton.RootLen {
+					return 0, true
+				}
+			}
+			return 0, false
+		}
+		op := matfree.NewQ2(q2, dom, layout, eta, bc, matfree.Options{})
+
+		A := la.NewMat(layout)
+		for ei, leaf := range m.Leaves {
+			k := fem.NewQ2StokesKernels(dom.ElemSize(leaf))
+			g27 := &q2.Nodes[ei]
+			for a := 0; a < 27; a++ {
+				for i := 0; i < 3; i++ {
+					if _, is := bc(g27[a], i); is {
+						continue
+					}
+					row := 4*g27[a] + int64(i)
+					for b := 0; b < 27; b++ {
+						for j := 0; j < 3; j++ {
+							if _, is := bc(g27[b], j); is {
+								continue
+							}
+							if v := eta[ei] * k.Av[3*a+i][3*b+j]; v != 0 {
+								A.AddValue(row, 4*g27[b]+int64(j), v)
+							}
+						}
+					}
+					for p := 0; p < 8; p++ {
+						gp := g27[fem.Q2CornerNode(p)]
+						if _, is := bc(gp, 3); is {
+							continue
+						}
+						if v := k.Bd[p][3*a+i]; v != 0 {
+							A.AddValue(row, 4*gp+3, v)
+						}
+					}
+				}
+			}
+			for a := 0; a < 8; a++ {
+				ga := g27[fem.Q2CornerNode(a)]
+				if _, is := bc(ga, 3); is {
+					continue
+				}
+				prow := 4*ga + 3
+				for b := 0; b < 27; b++ {
+					for j := 0; j < 3; j++ {
+						if _, is := bc(g27[b], j); is {
+							continue
+						}
+						if v := k.Bd[a][3*b+j]; v != 0 {
+							A.AddValue(prow, 4*g27[b]+int64(j), v)
+						}
+					}
+				}
+			}
+		}
+		for i := 0; i < q2.NumOwned; i++ {
+			g := q2.Offset + int64(i)
+			for c := 0; c < 4; c++ {
+				if _, is := bc(g, c); is {
+					A.AddValue(4*g+int64(c), 4*g+int64(c), 1)
+				}
+			}
+		}
+		A.Assemble()
+
+		x := la.NewVec(layout)
+		fillTestVec(x)
+		y1, y2 := la.NewVec(layout), la.NewVec(layout)
+		op.Apply(x, y1)
+		A.Apply(x, y2)
+		if diff, scale := maxAbsDiff(y1, y2); diff > 1e-10*math.Max(scale, 1) {
+			t.Errorf("Q2 sum-factorized apply differs from naive assembled: max diff %v (scale %v)", diff, scale)
+		}
+	})
+}
+
+// TestSlotMapInvariants checks the structural invariants of the Q1 and
+// Q2 slot maps on a multi-rank mesh: owned slots are gid-offset, GIDAt
+// round-trips, constraint weights are a partition of unity, and every
+// element node slot resolves to the mesh's global id.
+func TestSlotMapInvariants(t *testing.T) {
+	sim.Run(4, func(r *sim.Rank) {
+		tr := octree.New(r, 2)
+		tr.Refine(func(o morton.Octant) bool { return o.X == 0 && o.Y == 0 && o.Z == 0 })
+		tr.Balance()
+		tr.Partition()
+		ma := mesh.Extract(tr)
+		sm := matfree.NewSlotMap(ma, 1)
+		if sm.NOwned != ma.NumOwned {
+			t.Fatalf("SlotMap.NOwned = %d, want %d", sm.NOwned, ma.NumOwned)
+		}
+		ns := sm.NSlots()
+		for s := 0; s < sm.NOwned; s++ {
+			if g := sm.GIDAt(s); g != ma.Offset+int64(s) {
+				t.Fatalf("owned slot %d has gid %d, want %d", s, g, ma.Offset+int64(s))
+			}
+		}
+		for ei := range sm.Corners {
+			for c := 0; c < 8; c++ {
+				cr := &sm.Corners[ei][c]
+				if cr.N < 1 || cr.N > 4 {
+					t.Fatalf("corner ref count %d out of range", cr.N)
+				}
+				var wsum float64
+				for k := 0; k < int(cr.N); k++ {
+					if s := cr.Slot[k]; s < 0 || int(s) >= ns {
+						t.Fatalf("corner slot %d out of range [0,%d)", s, ns)
+					}
+					if cr.W[k] <= 0 {
+						t.Fatalf("non-positive constraint weight %v", cr.W[k])
+					}
+					wsum += cr.W[k]
+				}
+				if math.Abs(wsum-1) > 1e-12 {
+					t.Fatalf("corner weights sum to %v, want 1", wsum)
+				}
+			}
+		}
+
+		// Q2 slot map on a uniform mesh from the same rank set.
+		tr2 := octree.New(r, 2)
+		m2 := mesh.Extract(tr2)
+		q2 := mesh.ExtractQ2(tr2, m2)
+		sm2 := matfree.NewQ2SlotMap(q2, 1)
+		if sm2.NOwned != q2.NumOwned {
+			t.Fatalf("Q2SlotMap.NOwned = %d, want %d", sm2.NOwned, q2.NumOwned)
+		}
+		for ei := range sm2.Nodes {
+			for n := 0; n < 27; n++ {
+				s := sm2.Nodes[ei][n]
+				if s < 0 || int(s) >= sm2.NSlots() {
+					t.Fatalf("Q2 node slot %d out of range", s)
+				}
+				if g := sm2.GIDAt(int(s)); g != q2.Nodes[ei][n] {
+					t.Fatalf("Q2 slot %d resolves to gid %d, want %d", s, g, q2.Nodes[ei][n])
+				}
+			}
+		}
+	})
+}
+
+// TestApplyAllocFree pins the zero-allocation property of the hot apply
+// loops (single worker, so the measurement excludes goroutine spawns).
+func TestApplyAllocFree(t *testing.T) {
+	sim.Run(1, func(r *sim.Rank) {
+		dom := fem.UnitDomain
+
+		tr := octree.New(r, 2)
+		m := mesh.Extract(tr)
+		layout := la.NewLayout(r, 4*m.NumOwned)
+		eta := make([]float64, len(m.Leaves))
+		for i := range eta {
+			eta[i] = 1
+		}
+		bc := q1TestBC(m)
+		op := matfree.New(m, dom, layout, eta, bc, matfree.Options{Workers: 1})
+		x, y := la.NewVec(layout), la.NewVec(layout)
+		fillTestVec(x)
+		if n := testing.AllocsPerRun(20, func() { op.Apply(x, y) }); n != 0 {
+			t.Errorf("Q1 matrix-free Apply allocates %v times per run, want 0", n)
+		}
+
+		q2 := mesh.ExtractQ2(tr, m)
+		m.Q2 = q2
+		layout2 := la.NewLayout(r, 4*q2.NumOwned)
+		bc2 := func(g int64, c int) (float64, bool) {
+			if c == 3 {
+				return 0, g == 0 || !q2.IsVertex(q2.RefPos(g))
+			}
+			return 0, false
+		}
+		op2 := matfree.NewQ2(q2, dom, layout2, eta, bc2, matfree.Options{Workers: 1})
+		x2, y2 := la.NewVec(layout2), la.NewVec(layout2)
+		fillTestVec(x2)
+		if n := testing.AllocsPerRun(20, func() { op2.Apply(x2, y2) }); n != 0 {
+			t.Errorf("Q2 sum-factorized Apply allocates %v times per run, want 0", n)
+		}
+	})
+}

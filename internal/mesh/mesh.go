@@ -79,6 +79,10 @@ type Mesh struct {
 	OwnedCell    []forest.Octant
 	OwnedCellPos [][3]uint32
 
+	// Q2 is the optional second-order node layer (built by ExtractQ2 and
+	// attached by the caller); stokes requires it when Options.Order == 2.
+	Q2 *Q2Mesh
+
 	// GeomCache holds the discretization layer's per-element quadrature
 	// geometry for mapped meshes (set on first use by fem.ElemGeoms and
 	// shared by matfree, gmg, stokes and advect so the Jacobian

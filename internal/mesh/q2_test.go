@@ -1,0 +1,140 @@
+package mesh
+
+// Unit tests for the distributed Q2 node layer: global node counts,
+// cross-rank gid/position consistency, vertex map totality, and the
+// collective fail-fast on nonconforming meshes.
+
+import (
+	"testing"
+
+	"rhea/internal/morton"
+	"rhea/internal/octree"
+	"rhea/internal/sim"
+)
+
+// TestExtractQ2Counts checks the closed-form node counts of uniform
+// meshes on several rank counts: a level-L unit tree has (2^(L+1)+1)^3
+// Q2 nodes and (2^L+1)^3 of them are vertices.
+func TestExtractQ2Counts(t *testing.T) {
+	for _, ranks := range []int{1, 2, 4} {
+		for _, lvl := range []uint8{1, 2, 3} {
+			sim.Run(ranks, func(r *sim.Rank) {
+				tr := octree.New(r, lvl)
+				m := Extract(tr)
+				q2 := ExtractQ2(tr, m)
+				side := int64(2<<lvl) + 1
+				if want := side * side * side; q2.NGlobal != want {
+					t.Errorf("ranks=%d level %d: NGlobal = %d, want %d", ranks, lvl, q2.NGlobal, want)
+				}
+				verts := 0
+				for _, vl := range q2.VertLocal {
+					if vl >= 0 {
+						verts++
+					}
+				}
+				totalVerts := m.Rank.AllreduceInt64(int64(verts))
+				vside := int64(1<<lvl) + 1
+				if want := vside * vside * vside; totalVerts != want {
+					t.Errorf("ranks=%d level %d: %d vertices, want %d", ranks, lvl, totalVerts, want)
+				}
+				// Every owned Q1 node must be reachable through Q1ToQ2 and
+				// round-trip through VertLocal.
+				for li, qi := range q2.Q1ToQ2 {
+					if qi < 0 {
+						t.Fatalf("Q1 node %d has no Q2 counterpart", li)
+					}
+					if q2.VertLocal[qi] != int32(li) {
+						t.Fatalf("vertex map roundtrip failed: Q1 %d -> Q2 %d -> Q1 %d", li, qi, q2.VertLocal[qi])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestExtractQ2GidConsistency checks that the element->gid tables agree
+// across ranks: every gid resolves to exactly one half-unit position,
+// element corners carry the vertex positions, and gids are dense in
+// [0, NGlobal).
+func TestExtractQ2GidConsistency(t *testing.T) {
+	sim.Run(4, func(r *sim.Rank) {
+		tr := octree.New(r, 2)
+		m := Extract(tr)
+		q2 := ExtractQ2(tr, m)
+		for ei, e := range m.Leaves {
+			for n := 0; n < 27; n++ {
+				g := q2.Nodes[ei][n]
+				if g < 0 || g >= q2.NGlobal {
+					t.Fatalf("gid %d out of range [0,%d)", g, q2.NGlobal)
+				}
+				if p := q2.RefPos(g); p != Q2NodePos2(e, n) {
+					t.Fatalf("element %d node %d: gid %d has position %v, want %v", ei, n, g, p, Q2NodePos2(e, n))
+				}
+			}
+		}
+		// Owned nodes: position key order implies gid order, and the owner
+		// rule must pick this rank.
+		for i := 1; i < q2.NumOwned; i++ {
+			if posKey(q2.OwnedPos2[i-1]) >= posKey(q2.OwnedPos2[i]) {
+				t.Fatalf("owned Q2 positions not strictly sorted at %d", i)
+			}
+		}
+		for _, p2 := range q2.OwnedPos2 {
+			if o := q2OwnerRank(tr, p2); o != r.ID() {
+				t.Fatalf("owned node %v has owner rank %d, want %d", p2, o, r.ID())
+			}
+		}
+		// The global origin vertex is gid 0 (the pressure pin relies on it).
+		if r.ID() == 0 {
+			if q2.Offset != 0 || q2.OwnedPos2[0] != ([3]uint32{0, 0, 0}) {
+				t.Errorf("rank 0 does not own the origin as gid 0: offset %d pos %v", q2.Offset, q2.OwnedPos2[0])
+			}
+		}
+	})
+}
+
+// TestExtractQ2IsVertex pins the vertex classification away from the
+// finest level: on a coarse uniform mesh, edge midpoints have even
+// half-unit coordinates, so parity alone must not classify them.
+func TestExtractQ2IsVertex(t *testing.T) {
+	sim.Run(1, func(r *sim.Rank) {
+		tr := octree.New(r, 1)
+		m := Extract(tr)
+		q2 := ExtractQ2(tr, m)
+		h := m.Leaves[0].Len() // node spacing in half-units
+		if !q2.IsVertex([3]uint32{0, 0, 0}) || !q2.IsVertex([3]uint32{2 * h, 2 * h, 0}) {
+			t.Error("corner positions not classified as vertices")
+		}
+		if q2.IsVertex([3]uint32{h, 0, 0}) || q2.IsVertex([3]uint32{h, 2 * h, h}) {
+			t.Error("edge/face midpoints classified as vertices despite even coordinates")
+		}
+		vside := int64(1<<1) + 1
+		verts := 0
+		for _, vl := range q2.VertLocal {
+			if vl >= 0 {
+				verts++
+			}
+		}
+		if int64(verts) != vside*vside*vside {
+			t.Errorf("level-1 single rank owns %d vertices, want %d", verts, vside*vside*vside)
+		}
+	})
+}
+
+// TestExtractQ2RejectsHanging checks the collective fail-fast: every
+// rank of an adapted (hanging-node) mesh must panic, not deadlock.
+func TestExtractQ2RejectsHanging(t *testing.T) {
+	sim.Run(2, func(r *sim.Rank) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("rank %d: ExtractQ2 did not panic on a nonconforming mesh", r.ID())
+			}
+		}()
+		tr := octree.New(r, 2)
+		tr.Refine(func(o morton.Octant) bool { return o.X == 0 && o.Y == 0 && o.Z == 0 })
+		tr.Balance()
+		tr.Partition()
+		m := Extract(tr)
+		ExtractQ2(tr, m)
+	})
+}

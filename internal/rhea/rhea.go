@@ -124,6 +124,14 @@ type Config struct {
 	Precond stokes.PrecondKind
 	// GMG tunes the geometric hierarchy when Precond is PrecondGMG.
 	GMG gmg.Options
+	// Order selects the velocity element order: 0 or 1 for the default
+	// stabilized equal-order Q1-Q1 pair, 2 for the Taylor-Hood Q2-Q1
+	// pair with sum-factorized matrix-free kernels and p-coarsened GMG
+	// (see stokes.Options.Order). Order 2 requires MatrixFree, Precond
+	// == PrecondGMG and a single-tree box domain at a uniform
+	// refinement level (set MinLevel = MaxLevel = BaseLevel, or leave
+	// InitAdapt/AdaptEvery unused).
+	Order int
 	// LocalAMG selects per-rank block-Jacobi AMG hierarchies for the
 	// velocity blocks instead of the default redundant hierarchy; see
 	// stokes.Options.LocalAMG.
@@ -192,7 +200,10 @@ func (c Config) withDefaults() Config {
 	if c.MinresMax == 0 {
 		c.MinresMax = 500
 	}
-	if c.InitAdapt == 0 {
+	if c.InitAdapt == 0 && c.Order != 2 {
+		// Order 2 keeps the mesh at the uniform base level by default:
+		// solution-adaptive rounds would introduce hanging faces the Q2
+		// node layer rejects.
 		c.InitAdapt = 2
 	}
 	if c.Visc == nil {
@@ -200,6 +211,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.VelBC == nil {
 		c.VelBC = stokes.FreeSlip(c.Dom.Box)
+	}
+	if c.Order == 2 {
+		if !c.MatrixFree || c.Precond != stokes.PrecondGMG {
+			panic("rhea: Config.Order == 2 requires MatrixFree and Precond == PrecondGMG")
+		}
+		if c.Conn != nil {
+			panic("rhea: Config.Order == 2 is limited to single-tree box domains (Q2 extraction on forests is a roadmap item)")
+		}
 	}
 	if c.TargetElems == 0 {
 		trees := int64(1)
@@ -359,6 +378,11 @@ func (s *Sim) extract() {
 		s.Mesh = mesh.ExtractForest(s.Forest, s.Cfg.Geom)
 	} else {
 		s.Mesh = mesh.Extract(s.Tree)
+	}
+	if s.Cfg.Order == 2 {
+		// The Q2 node layer panics on hanging faces — Order 2 runs are
+		// restricted to uniform refinement levels.
+		s.Mesh.Q2 = mesh.ExtractQ2(s.Tree, s.Mesh)
 	}
 	s.Times.ExtractMesh += time.Since(t0).Seconds()
 	// Velocity and pressure default to zero on the new mesh, and the
@@ -710,6 +734,7 @@ func (s *Sim) stokesOptions() stokes.Options {
 	return stokes.Options{
 		AMG: s.Cfg.AMG, MatrixFree: s.Cfg.MatrixFree, MatFree: s.Cfg.MatFree,
 		Precond: s.Cfg.Precond, GMG: s.Cfg.GMG, LocalAMG: s.Cfg.LocalAMG,
+		Order: s.Cfg.Order,
 	}
 }
 
@@ -739,12 +764,24 @@ func (s *Sim) SolveStokes() krylov.Result {
 
 		t0 = time.Now()
 		x := la.NewVec(s.solver.Layout)
-		// Warm start from the current velocity and pressure.
-		for i := 0; i < s.Mesh.NumOwned; i++ {
-			for c := 0; c < 3; c++ {
-				x.Data[4*i+c] = s.U[c].Data[i]
+		// Warm start from the current velocity and pressure. On the Q2
+		// layout the nodal Q1 fields seed the vertex dofs; edge, face
+		// and center dofs start from zero.
+		if q2 := s.Mesh.Q2; q2 != nil {
+			for i := 0; i < s.Mesh.NumOwned; i++ {
+				qi := int(q2.Q1ToQ2[i])
+				for c := 0; c < 3; c++ {
+					x.Data[4*qi+c] = s.U[c].Data[i]
+				}
+				x.Data[4*qi+3] = s.P.Data[i]
 			}
-			x.Data[4*i+3] = s.P.Data[i]
+		} else {
+			for i := 0; i < s.Mesh.NumOwned; i++ {
+				for c := 0; c < 3; c++ {
+					x.Data[4*i+c] = s.U[c].Data[i]
+				}
+				x.Data[4*i+3] = s.P.Data[i]
+			}
 		}
 		res = s.solver.Solve(x, s.Cfg.MinresTol, s.Cfg.MinresMax)
 		s.Times.MINRES += time.Since(t0).Seconds()

@@ -140,6 +140,19 @@ type Solver struct {
 
 	// work vectors for the preconditioner (node layout)
 	xc, yc *la.Vec
+
+	// Order-2 (Taylor-Hood) state, set by setupQ2 when Options.Order == 2
+	// (see q2.go); q2 != nil selects the Q2 branches everywhere.
+	q2     *mesh.Q2Mesh
+	MFQ2   *matfree.OperatorQ2     // matrix-free coupled Q2 operator
+	q2sm   *matfree.Q2SlotMap      // block-1 map shared by the p-level components
+	sfKern []*fem.SumFactorKernels // per-element tensor-product kernels
+	sfDiag []*[27]float64          // unit scalar stiffness diagonals (aliased per level)
+	emb    *embed                  // Q1->Q2 nodal embedding E and E^T
+	pcs    [3]*pCoarse             // p-coarsened velocity preconditioners
+	q2L    *la.Layout              // Q2 node layout
+	// work vectors for the preconditioner (Q2 node layout)
+	xc2, yc2 *la.Vec
 }
 
 // schurTerm is one precomputed contribution (1/eta[Elem])*Coef to the
@@ -185,6 +198,12 @@ type Options struct {
 	MatrixFree bool
 	// MatFree tunes the matrix-free apply (in-rank worker count).
 	MatFree matfree.Options
+	// Order selects the velocity element order: 0 or 1 for the stabilized
+	// equal-order Q1-Q1 pair (default), 2 for Q2-Q1 Taylor-Hood with the
+	// sum-factorized matrix-free apply and the p-coarsened GMG velocity
+	// preconditioner. Order 2 requires MatrixFree, Precond == PrecondGMG,
+	// and a mesh with the Q2 node layer attached (mesh.ExtractQ2).
+	Order int
 }
 
 // Setup builds the mesh- and BC-dependent half of the Stokes solver
@@ -197,9 +216,28 @@ type Options struct {
 // Solver is cached by the convection time loop and survives unchanged
 // until the mesh adapts.
 func Setup(m *mesh.Mesh, dom fem.Domain, bc VelBC, opts Options) *Solver {
+	if opts.Order < 0 || opts.Order > 2 {
+		panic(fmt.Sprintf("stokes: unsupported element order %d (want 1 or 2)", opts.Order))
+	}
 	s := &Solver{M: m, Dom: dom, bc: bc, opts: opts, nOwned: m.NumOwned}
-	s.Layout = la.NewLayout(m.Rank, 4*m.NumOwned)
 	s.nodeL = m.Layout()
+	for c := 0; c < 3; c++ {
+		c := c
+		s.compBC[c] = func(x [3]float64) (float64, bool) {
+			fixed, vals := bc(x)
+			if fixed[c] {
+				return vals[c], true
+			}
+			return 0, false
+		}
+	}
+
+	if opts.Order == 2 {
+		s.setupQ2()
+		s.finishSetup()
+		return s
+	}
+	s.Layout = la.NewLayout(m.Rank, 4*m.NumOwned)
 
 	// Gather per-node velocity BC flags and values.
 	mask := la.NewVec(s.nodeL)
@@ -235,16 +273,6 @@ func Setup(m *mesh.Mesh, dom fem.Domain, bc VelBC, opts Options) *Solver {
 			return valMap[c][g], true
 		}
 		return 0, false
-	}
-	for c := 0; c < 3; c++ {
-		c := c
-		s.compBC[c] = func(x [3]float64) (float64, bool) {
-			fixed, vals := bc(x)
-			if fixed[c] {
-				return vals[c], true
-			}
-			return 0, false
-		}
 	}
 
 	if opts.MatrixFree {
@@ -285,6 +313,16 @@ func Setup(m *mesh.Mesh, dom fem.Domain, bc VelBC, opts Options) *Solver {
 		}
 	}
 
+	s.finishSetup()
+	return s
+}
+
+// finishSetup builds the order-independent tail of Setup: the Schur
+// diagonal's slot-space lumped-mass plan (always on the Q1 vertex
+// space, where the Taylor-Hood pressure also lives) and the
+// preconditioner work vectors.
+func (s *Solver) finishSetup() {
+	m, dom := s.M, s.Dom
 	// Slot map + lumped-mass coefficients for the Schur diagonal refresh.
 	// The GMG hierarchy's finest level already built the identical map;
 	// share it rather than re-running the collective plan construction.
@@ -313,7 +351,6 @@ func Setup(m *mesh.Mesh, dom fem.Domain, bc VelBC, opts Options) *Solver {
 	s.schurInv = la.NewVec(s.nodeL)
 	s.xc = la.NewVec(s.nodeL)
 	s.yc = la.NewVec(s.nodeL)
-	return s
 }
 
 // Update refreshes the viscosity- and force-dependent half of the solver
@@ -326,6 +363,9 @@ func Setup(m *mesh.Mesh, dom fem.Domain, bc VelBC, opts Options) *Solver {
 // none. After Update the solver is numerically identical to a fresh
 // Assemble with the same inputs. It returns the solver for chaining.
 func (s *Solver) Update(etaElem []float64, force [][8][3]float64) *Solver {
+	if s.q2 != nil {
+		return s.UpdateQ2(etaElem, s.interpQ2Force(force))
+	}
 	m, dom, opts := s.M, s.Dom, s.opts
 
 	if opts.MatrixFree {
@@ -367,15 +407,22 @@ func (s *Solver) Update(etaElem []float64, force [][8][3]float64) *Solver {
 		}
 	}
 
-	// S~: inverse-viscosity-weighted lumped pressure mass, from the
-	// precomputed slot-space plan (one scan + one ghost scatter-add).
+	s.updateSchur(etaElem)
+	return s
+}
+
+// updateSchur refreshes S~, the inverse-viscosity-weighted lumped
+// pressure mass on the Q1 vertex space, from the precomputed slot-space
+// plan (one scan + one ghost scatter-add; collective).
+func (s *Solver) updateSchur(etaElem []float64) {
 	acc := make([]float64, s.nodeSM.NSlots())
 	for _, t := range s.schurPlan {
 		acc[t.Slot] += t.Coef / etaElem[t.Elem]
 	}
 	sd := la.NewVec(s.nodeL)
-	copy(sd.Data, acc[:s.nOwned])
-	s.nodeSM.GX.ScatterAdd(acc[s.nOwned:], sd.Data)
+	n1 := s.M.NumOwned
+	copy(sd.Data, acc[:n1])
+	s.nodeSM.GX.ScatterAdd(acc[n1:], sd.Data)
 	for i, v := range sd.Data {
 		if v > 0 {
 			s.schurInv.Data[i] = 1 / v
@@ -383,7 +430,6 @@ func (s *Solver) Update(etaElem []float64, force [][8][3]float64) *Solver {
 			s.schurInv.Data[i] = 1
 		}
 	}
-	return s
 }
 
 // assembleCoupled builds the coupled saddle-point CSR and right-hand side
@@ -584,6 +630,9 @@ func (s *Solver) PrecondStats() PrecondStats {
 
 // Precond returns the block-diagonal preconditioner operator P^-1.
 func (s *Solver) Precond() krylov.Operator {
+	if s.q2 != nil {
+		return s.precondQ2()
+	}
 	return krylov.OpFunc(func(x, y *la.Vec) {
 		n := s.nOwned
 		// Velocity components: one multigrid V-cycle each (AMG or GMG).
@@ -613,6 +662,23 @@ func (s *Solver) Solve(x *la.Vec, rtol float64, maxIt int) krylov.Result {
 // interleaved solution vector (node layout vectors).
 func (s *Solver) SplitSolution(x *la.Vec) (u [3]*la.Vec, p *la.Vec) {
 	nodeL := s.M.Layout()
+	if s.q2 != nil {
+		// Order 2: sample the Q2 solution at the vertices (where the
+		// pressure dofs live), returning Q1 node-layout vectors so the
+		// advection, output and diagnostic layers work unchanged.
+		for c := 0; c < 3; c++ {
+			u[c] = la.NewVec(nodeL)
+		}
+		p = la.NewVec(nodeL)
+		for li := 0; li < s.M.NumOwned; li++ {
+			qi := int(s.q2.Q1ToQ2[li])
+			for c := 0; c < 3; c++ {
+				u[c].Data[li] = x.Data[4*qi+c]
+			}
+			p.Data[li] = x.Data[4*qi+3]
+		}
+		return
+	}
 	for c := 0; c < 3; c++ {
 		u[c] = la.NewVec(nodeL)
 		for i := 0; i < s.nOwned; i++ {
