@@ -1,8 +1,14 @@
 // Command rhea runs an end-to-end adaptive mantle convection simulation
 // (the paper's §VI setup, scaled down): Boussinesq convection in a
-// regional box with the three-layer yielding viscosity, dynamic AMR every
-// few time steps, and a per-cycle report of mesh, solver and timing
-// statistics.
+// regional box (or, with -shell, the 24-tree cubed-sphere shell) with
+// dynamic AMR every few time steps and a per-cycle report of mesh,
+// solver and timing statistics.
+//
+// With -checkpoint DIR a committed snapshot is written under DIR after
+// every cycle; with -restore SNAP the run resumes from that snapshot and
+// continues the exact trajectory of the uninterrupted run (pass the same
+// scenario flags as the writing run — the snapshot carries a config
+// fingerprint and refuses to resume under different knobs).
 package main
 
 import (
@@ -10,6 +16,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
+	"sync/atomic"
 
 	"rhea/internal/fem"
 	"rhea/internal/rhea"
@@ -19,17 +27,20 @@ import (
 
 func main() {
 	ranks := flag.Int("ranks", 4, "simulated MPI ranks (goroutines)")
-	cycles := flag.Int("cycles", 4, "adaptation cycles to run")
+	cycles := flag.Int("cycles", 4, "adaptation cycles to run (total, including cycles already in a restored snapshot)")
 	base := flag.Int("base", 3, "initial uniform octree level")
 	maxLevel := flag.Int("max-level", 6, "finest octree level allowed")
 	target := flag.Int64("target", 4000, "element budget for MarkElements")
 	ra := flag.Float64("ra", 1e6, "Rayleigh number")
-	sigmaY := flag.Float64("yield", 1e3, "yield stress (0 = no yielding)")
+	sigmaY := flag.Float64("yield", 1e3, "yield stress (0 = no yielding; box scenario only)")
+	shell := flag.Bool("shell", false, "spherical-shell convection on the 24-tree cubed sphere instead of the regional box")
 	matfree := flag.Bool("matfree", false, "apply the Stokes operator matrix-free instead of assembling the coupled CSR")
 	precond := flag.String("precond", "amg", "velocity-block preconditioner: amg (assembled) or gmg (matrix-free geometric multigrid)")
 	localamg := flag.Bool("localamg", false, "per-rank block-Jacobi AMG hierarchies instead of the redundant global hierarchy (cheaper setup, more iterations)")
 	noreuse := flag.Bool("noreuse", false, "rebuild the full Stokes solver setup every Picard iteration instead of caching the mesh-dependent half")
 	order := flag.Int("order", 1, "velocity element order: 1 for the stabilized equal-order Q1-Q1 pair, 2 for the Taylor-Hood Q2-Q1 pair (requires -matfree -precond gmg; runs on a uniform mesh at -base, no AMR)")
+	ckptDir := flag.String("checkpoint", "", "write a committed snapshot under this directory after every cycle")
+	restore := flag.String("restore", "", "resume from this committed snapshot instead of starting fresh")
 	flag.Parse()
 
 	var pk stokes.PrecondKind
@@ -50,51 +61,97 @@ func main() {
 		fmt.Println("-order 2 requires -matfree -precond gmg")
 		os.Exit(2)
 	}
+	if *order == 2 && *shell {
+		fmt.Println("-order 2 is limited to the box scenario")
+		os.Exit(2)
+	}
 
-	cfg := rhea.Config{
-		Dom: fem.Domain{Box: [3]float64{8, 4, 1}},
-		Ra:  *ra,
-		InitialTemp: func(x [3]float64) float64 {
-			T := 1 - x[2]
-			T += 0.15 * math.Exp(-((x[0]-2)*(x[0]-2)+(x[1]-2)*(x[1]-2)+(x[2]-0.25)*(x[2]-0.25))/0.05)
-			T += 0.15 * math.Exp(-((x[0]-6)*(x[0]-6)+(x[1]-2)*(x[1]-2)+(x[2]-0.3)*(x[2]-0.3))/0.08)
-			return T
-		},
-		Visc:        rhea.YieldingLaw(*sigmaY),
-		BaseLevel:   uint8(*base),
-		MinLevel:    uint8(*base - 1),
-		MaxLevel:    uint8(*maxLevel),
-		TargetElems: *target,
-		AdaptEvery:  8,
-		Picard:      2,
-		MinresTol:   1e-6,
-		MinresMax:   800,
-		MatrixFree:  *matfree,
-		Precond:     pk,
-		LocalAMG:    *localamg,
-		NoReuse:     *noreuse,
-		Order:       *order,
+	var cfg rhea.Config
+	if *shell {
+		cfg = rhea.Config{
+			Shell:       true,
+			Ra:          *ra,
+			InitialTemp: rhea.ShellBlobTemp,
+			Visc:        rhea.TemperatureDependent(1, 1),
+			BaseLevel:   uint8(*base),
+			MinLevel:    uint8(*base),
+			MaxLevel:    uint8(*maxLevel),
+			TargetElems: *target,
+			AdaptEvery:  8,
+			Picard:      2,
+			MinresTol:   1e-6,
+			MinresMax:   800,
+			MatrixFree:  *matfree,
+			Precond:     pk,
+			LocalAMG:    *localamg,
+			NoReuse:     *noreuse,
+		}
+	} else {
+		cfg = rhea.Config{
+			Dom: fem.Domain{Box: [3]float64{8, 4, 1}},
+			Ra:  *ra,
+			InitialTemp: func(x [3]float64) float64 {
+				T := 1 - x[2]
+				T += 0.15 * math.Exp(-((x[0]-2)*(x[0]-2)+(x[1]-2)*(x[1]-2)+(x[2]-0.25)*(x[2]-0.25))/0.05)
+				T += 0.15 * math.Exp(-((x[0]-6)*(x[0]-6)+(x[1]-2)*(x[1]-2)+(x[2]-0.3)*(x[2]-0.3))/0.08)
+				return T
+			},
+			Visc:        rhea.YieldingLaw(*sigmaY),
+			BaseLevel:   uint8(*base),
+			MinLevel:    uint8(*base - 1),
+			MaxLevel:    uint8(*maxLevel),
+			TargetElems: *target,
+			AdaptEvery:  8,
+			Picard:      2,
+			MinresTol:   1e-6,
+			MinresMax:   800,
+			MatrixFree:  *matfree,
+			Precond:     pk,
+			LocalAMG:    *localamg,
+			NoReuse:     *noreuse,
+			Order:       *order,
+		}
 	}
 	if *order == 2 {
 		// The Q2 node layer needs a conforming mesh: pin the octree at the
 		// base level and skip the initial adaptation pass.
 		cfg.MinLevel = uint8(*base)
 		cfg.MaxLevel = uint8(*base)
-		cfg.InitAdapt = -1
+		cfg.NoInitAdapt = true
 	}
 
 	fmt.Printf("RHEA: %d ranks, Ra=%.1e, yield=%.1e, order %d, levels %d..%d, target %d elements\n",
 		*ranks, *ra, *sigmaY, *order, cfg.MinLevel, cfg.MaxLevel, *target)
 
+	var failed atomic.Bool
 	sim.Run(*ranks, func(r *sim.Rank) {
-		s := rhea.New(r, cfg)
-		n0 := s.Tree.NumGlobal() // collective
-		if r.ID() == 0 {
-			fmt.Printf("initial mesh: %d elements, %d nodes\n", n0, s.Mesh.NGlobal)
+		var s *rhea.Sim
+		if *restore != "" {
+			var err error
+			s, err = rhea.Restore(r, cfg, *restore)
+			if err != nil {
+				if r.ID() == 0 {
+					fmt.Fprintf(os.Stderr, "restore failed: %v\n", err)
+				}
+				failed.Store(true)
+				return
+			}
+		} else {
+			s = rhea.New(r, cfg)
 		}
-		for c := 1; c <= *cycles; c++ {
+		startCycle := s.Step / s.Cfg.AdaptEvery
+		n0 := numElems(s) // collective
+		if r.ID() == 0 {
+			if *restore != "" {
+				fmt.Printf("restored %s: cycle %d, t=%.3e, %d elements, %d nodes\n",
+					*restore, startCycle, s.TimeNow, n0, s.Mesh.NGlobal)
+			} else {
+				fmt.Printf("initial mesh: %d elements, %d nodes\n", n0, s.Mesh.NGlobal)
+			}
+		}
+		for c := startCycle + 1; c <= *cycles; c++ {
 			res := s.SolveStokes()
-			dt := s.AdvectSteps(cfg.AdaptEvery)
+			dt := s.AdvectSteps(s.Cfg.AdaptEvery)
 			st := s.Adapt()
 			umax := s.MaxVelocity() // collective
 			if r.ID() == 0 {
@@ -112,6 +169,19 @@ func main() {
 					c, s.TimeNow, dt, st.ElementsNow, lo, hi,
 					res.Iterations, umax, st.Refined, st.Coarsened)
 			}
+			if *ckptDir != "" {
+				snap := filepath.Join(*ckptDir, fmt.Sprintf("cycle-%04d", c))
+				if err := s.Checkpoint(snap); err != nil {
+					if r.ID() == 0 {
+						fmt.Fprintf(os.Stderr, "checkpoint failed: %v\n", err)
+					}
+					failed.Store(true)
+					return
+				}
+				if r.ID() == 0 {
+					fmt.Printf("checkpoint: %s\n", snap)
+				}
+			}
 		}
 		if r.ID() == 0 {
 			t := s.Times
@@ -125,4 +195,15 @@ func main() {
 				t.ExtractMesh, t.InterpolateFld, t.TransferFld, t.MarkElements)
 		}
 	})
+	if failed.Load() {
+		os.Exit(1)
+	}
+}
+
+// numElems counts global elements for either domain kind (collective).
+func numElems(s *rhea.Sim) int64 {
+	if s.Forest != nil {
+		return s.Forest.NumGlobal()
+	}
+	return s.Tree.NumGlobal()
 }

@@ -467,6 +467,50 @@ func (f *Forest) LevelCounts() []int64 {
 }
 
 // CheckLocalOrder verifies the local sort invariant.
+// LeafKeys returns this rank's leaves as parallel (tree id, Morton key)
+// slices in forest-curve order — the serialization of one rank's forest
+// partition. A forest rebuilt on the same communicator and connectivity
+// with FromKeys is identical to the receiver, including the partition
+// boundaries.
+func (f *Forest) LeafKeys() (trees []int32, keys []uint64) {
+	trees = make([]int32, len(f.leaves))
+	keys = make([]uint64, len(f.leaves))
+	for i, o := range f.leaves {
+		trees[i] = o.Tree
+		keys[i] = o.O.Key()
+	}
+	return trees, keys
+}
+
+// FromKeys rebuilds a forest partition from the slices produced by
+// LeafKeys (collective: it exchanges the partition markers). It
+// validates tree ids, octant admissibility and strict curve order and
+// returns an error before any collective call on bad input, so every
+// rank either proceeds into the collective exchange or none does when
+// validation fails deterministically from the same inputs.
+func FromKeys(r *sim.Rank, conn *Connectivity, trees []int32, keys []uint64) (*Forest, error) {
+	if len(trees) != len(keys) {
+		return nil, fmt.Errorf("forest: %d tree ids for %d leaf keys", len(trees), len(keys))
+	}
+	leaves := make([]Octant, len(keys))
+	for i, k := range keys {
+		o := morton.FromKey(k)
+		if !o.Valid() || o.Key() != k {
+			return nil, fmt.Errorf("forest: leaf key %d (%#x) does not decode to an admissible octant", i, k)
+		}
+		if trees[i] < 0 || int(trees[i]) >= conn.NumTrees() {
+			return nil, fmt.Errorf("forest: leaf %d names tree %d outside the %d-tree connectivity", i, trees[i], conn.NumTrees())
+		}
+		leaves[i] = Octant{Tree: trees[i], O: o}
+		if i > 0 && !Less(leaves[i-1], leaves[i]) {
+			return nil, fmt.Errorf("forest: leaf keys out of curve order at %d", i)
+		}
+	}
+	f := &Forest{Conn: conn, rank: r, leaves: leaves}
+	f.updateStarts()
+	return f, nil
+}
+
 func (f *Forest) CheckLocalOrder() error {
 	for i := 1; i < len(f.leaves); i++ {
 		if !Less(f.leaves[i-1], f.leaves[i]) {

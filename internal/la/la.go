@@ -70,6 +70,20 @@ func NewVec(l *Layout) *Vec {
 	return &Vec{Layout: l, Data: make([]float64, l.Local())}
 }
 
+// NewVecFromOwned builds a vector on the layout from this rank's owned
+// entries, validating the block size. Deserialization paths (checkpoint
+// restore) use this so a stale or foreign data slice fails loudly
+// instead of silently truncating or zero-padding the block. The slice
+// is copied; the caller keeps ownership of data.
+func NewVecFromOwned(l *Layout, data []float64) (*Vec, error) {
+	if len(data) != l.Local() {
+		return nil, fmt.Errorf("la: %d owned values for a layout block of %d", len(data), l.Local())
+	}
+	v := NewVec(l)
+	copy(v.Data, data)
+	return v, nil
+}
+
 // Clone returns a deep copy.
 func (v *Vec) Clone() *Vec {
 	w := NewVec(v.Layout)

@@ -488,6 +488,41 @@ func destRank(g, total, p int64) int64 {
 // each rank's segment begins; length Size+1).
 func (t *Tree) Starts() []uint64 { return t.starts }
 
+// LeafKeys returns this rank's leaves as Morton keys (morton.Octant.Key)
+// in curve order — the serialization of one rank's tree partition. A
+// tree rebuilt on the same communicator with FromKeys is identical to
+// the receiver, including the partition boundaries.
+func (t *Tree) LeafKeys() []uint64 {
+	keys := make([]uint64, len(t.leaves))
+	for i, o := range t.leaves {
+		keys[i] = o.Key()
+	}
+	return keys
+}
+
+// FromKeys rebuilds a tree partition from the keys produced by LeafKeys
+// (collective: it exchanges the partition markers). It validates that
+// the keys decode to admissible octants in strict curve order and
+// returns an error before any collective call if they do not, so every
+// rank either proceeds into the collective exchange or none does when
+// validation fails deterministically from the same inputs.
+func FromKeys(r *sim.Rank, keys []uint64) (*Tree, error) {
+	leaves := make([]morton.Octant, len(keys))
+	for i, k := range keys {
+		o := morton.FromKey(k)
+		if !o.Valid() || o.Key() != k {
+			return nil, fmt.Errorf("octree: leaf key %d (%#x) does not decode to an admissible octant", i, k)
+		}
+		if i > 0 && !morton.Less(leaves[i-1], o) {
+			return nil, fmt.Errorf("octree: leaf keys out of curve order at %d", i)
+		}
+		leaves[i] = o
+	}
+	t := &Tree{rank: r, leaves: leaves}
+	t.updateStarts()
+	return t, nil
+}
+
 // CheckLocalOrder panics if the local leaves are not strictly sorted —
 // used by tests and as a cheap internal invariant check.
 func (t *Tree) CheckLocalOrder() error {

@@ -22,12 +22,9 @@ import (
 // tolerance so rank-count-dependent rounding cannot surface.
 func regressionConfig() Config {
 	return Config{
-		Dom: fem.UnitDomain,
-		Ra:  1e4,
-		InitialTemp: func(x [3]float64) float64 {
-			r2 := (x[0]-0.4)*(x[0]-0.4) + (x[1]-0.6)*(x[1]-0.6) + (x[2]-0.3)*(x[2]-0.3)
-			return (1 - x[2]) + 0.2*math.Exp(-r2/0.03)
-		},
+		Dom:         fem.UnitDomain,
+		Ra:          1e4,
+		InitialTemp: BoxBlobTemp,
 		Visc:        TemperatureDependent(1, 1),
 		BaseLevel:   2,
 		MinLevel:    1,

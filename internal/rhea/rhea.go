@@ -46,6 +46,26 @@ func TemperatureDependent(eta0, E float64) ViscosityLaw {
 	return func(T, _, _ float64) float64 { return eta0 * math.Exp(-E*T) }
 }
 
+// BoxBlobTemp is the canonical unit-box initial condition: the conductive
+// profile plus one off-center Gaussian blob. Named and exported so
+// checkpoint-resuming callers (the scenario service, cmd/rhea) can refer
+// to the exact same function across process restarts — Config
+// fingerprints cannot cover function-valued fields.
+func BoxBlobTemp(x [3]float64) float64 {
+	r2 := (x[0]-0.4)*(x[0]-0.4) + (x[1]-0.6)*(x[1]-0.6) + (x[2]-0.3)*(x[2]-0.3)
+	return (1 - x[2]) + 0.2*math.Exp(-r2/0.03)
+}
+
+// ShellBlobTemp is the canonical spherical-shell initial condition for
+// the default R1=1, R2=2 shell: the conductive radial profile plus one
+// off-axis Gaussian blob. Exported for the same reason as BoxBlobTemp.
+func ShellBlobTemp(x [3]float64) float64 {
+	rad := math.Sqrt(x[0]*x[0] + x[1]*x[1] + x[2]*x[2])
+	cond := (2 - rad) / rad
+	d2 := (x[0]-1.2)*(x[0]-1.2) + x[1]*x[1] + (x[2]-0.6)*(x[2]-0.6)
+	return cond + 0.3*math.Exp(-d2/0.05)
+}
+
 // YieldingLaw is the three-layer viscosity of the paper's §VI:
 //
 //	z > 0.90        min( 10  exp(-6.9 T), sigma_y / (2 edot) )
@@ -103,7 +123,17 @@ type Config struct {
 	MinLevel    uint8
 	MaxLevel    uint8
 	TargetElems int64 // element budget for MarkElements
-	InitAdapt   int   // initial adaptation rounds (default 2)
+	// InitAdapt is the number of initial solution-adaptive refinement
+	// rounds New runs. Zero means "default" (2 rounds, or none when
+	// Order == 2); to request exactly zero rounds set NoInitAdapt —
+	// InitAdapt alone cannot express it because 0 is the default
+	// sentinel.
+	InitAdapt int
+	// NoInitAdapt requests exactly zero initial adaptation rounds: the
+	// mesh stays at the uniform BaseLevel until the first Adapt of the
+	// time loop. This is what restored runs need (Restore never re-runs
+	// initial adaptation) and what uniform-mesh studies want.
+	NoInitAdapt bool
 
 	AdaptEvery int     // time steps between adaptations (paper: 16)
 	CFL        float64 // advective CFL number (default 0.5)
@@ -167,6 +197,11 @@ func (c Config) withDefaults() Config {
 	if c.Conn != nil && c.Geom == nil {
 		c.Geom = mesh.TrilinearGeometry{Conn: c.Conn}
 	}
+	if c.Conn == nil && c.Dom.Box == [3]float64{} {
+		// A zero-size box makes every element Jacobian singular and the
+		// whole run NaN; an unset Dom always means the unit box.
+		c.Dom = fem.UnitDomain
+	}
 	if c.Conn != nil && !c.Shell {
 		// Mapped non-shell domains: the box-equality FreeSlip default
 		// cannot detect a mapped boundary, and Dom.Box is still used for
@@ -200,7 +235,12 @@ func (c Config) withDefaults() Config {
 	if c.MinresMax == 0 {
 		c.MinresMax = 500
 	}
-	if c.InitAdapt == 0 && c.Order != 2 {
+	switch {
+	case c.NoInitAdapt || c.InitAdapt < 0:
+		// Explicitly requested zero rounds (negative values are the
+		// legacy spelling of "none"; NoInitAdapt is the documented one).
+		c.InitAdapt = 0
+	case c.InitAdapt == 0 && c.Order != 2:
 		// Order 2 keeps the mesh at the uniform base level by default:
 		// solution-adaptive rounds would introduce hanging faces the Q2
 		// node layer rejects.
@@ -420,12 +460,18 @@ func (s *Sim) TempBC() fem.ScalarBC {
 			return 0, false
 		}
 	}
+	// Tolerance scaled by the vertical extent, like the shell branch: on
+	// mapped non-shell domains node coordinates come through the
+	// trilinear geometry map, whose interpolation weights round, so a
+	// top-face node can land at 1-1ulp and exact equality would silently
+	// drop its Dirichlet row.
 	top := s.Cfg.Dom.Box[2]
+	tol := 1e-9 * top
 	return func(x [3]float64) (float64, bool) {
-		if x[2] == 0 {
+		if math.Abs(x[2]) < tol {
 			return 1, true
 		}
-		if x[2] == top {
+		if math.Abs(x[2]-top) < tol {
 			return 0, true
 		}
 		return 0, false
@@ -873,6 +919,12 @@ func (s *Sim) Nusselt() float64 {
 	if s.Cfg.Shell {
 		return s.nusseltShell()
 	}
+	if fem.ElemGeoms(s.Mesh) != nil {
+		// Mapped non-shell forest (brick macro mesh): the axis-aligned
+		// ElemSize/Box[0]*Box[1] arithmetic below would be wrong on every
+		// mapped element; route through the cached center Jacobians.
+		return s.nusseltMappedBox()
+	}
 	// Box: only u_z and dT/dz enter the flux, so gather exactly T and
 	// U[2].
 	sm := s.slotMap()
@@ -900,6 +952,41 @@ func (s *Sim) Nusselt() float64 {
 	}
 	total := s.Rank.Allreduce(sum, sim.OpSum)
 	return total / (s.Cfg.Dom.Box[0] * s.Cfg.Dom.Box[1])
+}
+
+// nusseltMappedBox is the mapped (non-shell forest) branch of Nusselt:
+// vertical flux and element volumes through the cached center Jacobians,
+// exactly as nusseltShell and RMSVelocity do. The conductive
+// normalization ∫ (ΔT/H) dV = V/H (with ΔT = 1 and H = Dom.Box[2], the
+// same vertical-extent convention the viscosity depth coordinate uses)
+// reduces to the axis-aligned branch's Lx·Ly on a rectangular brick.
+func (s *Sim) nusseltMappedBox() float64 {
+	sm := s.slotMap()
+	bufs := s.gatherSlotsMulti(sm, s.T, s.U[2])
+	tb, wb := bufs[0], bufs[1]
+	geos := fem.ElemGeoms(s.Mesh)
+	var sum, volSum float64
+	for ei := range s.Mesh.Leaves {
+		g := geos[ei]
+		vol := g.DetC
+		var Tc, wc, dTdz float64
+		for c := 0; c < 8; c++ {
+			co := &sm.Corners[ei][c]
+			var tv, wv float64
+			for k := 0; k < int(co.N); k++ {
+				tv += co.W[k] * tb[co.Slot[k]]
+				wv += co.W[k] * wb[co.Slot[k]]
+			}
+			Tc += tv / 8
+			wc += wv / 8
+			dTdz += tv * g.Gc[c][2]
+		}
+		sum += (wc*Tc - dTdz) * vol
+		volSum += vol
+	}
+	total := s.Rank.Allreduce(sum, sim.OpSum)
+	volTot := s.Rank.Allreduce(volSum, sim.OpSum)
+	return total / (volTot / s.Cfg.Dom.Box[2])
 }
 
 // nusseltShell is the spherical branch of Nusselt: radial flux through

@@ -23,14 +23,9 @@ import (
 // adaptation).
 func shellConfig() Config {
 	return Config{
-		Shell: true,
-		Ra:    1e4,
-		InitialTemp: func(x [3]float64) float64 {
-			rad := math.Sqrt(x[0]*x[0] + x[1]*x[1] + x[2]*x[2])
-			cond := (2 - rad) / rad
-			d2 := (x[0]-1.2)*(x[0]-1.2) + x[1]*x[1] + (x[2]-0.6)*(x[2]-0.6)
-			return cond + 0.3*math.Exp(-d2/0.05)
-		},
+		Shell:       true,
+		Ra:          1e4,
+		InitialTemp: ShellBlobTemp,
 		Visc:        TemperatureDependent(1, 1),
 		BaseLevel:   1,
 		MinLevel:    1,

@@ -1,0 +1,478 @@
+// Package scenario turns the rhea library into a long-running service
+// component: convection runs described by small JSON specs become
+// queued jobs, a worker pool drives their RunCycle loops inside
+// simulated-MPI communicators, committed checkpoints are written
+// periodically (and always at the end and on stop, so every terminal
+// job is resumable), and per-cycle diagnostics are retained for
+// streaming. Resuming goes through rhea.Restore, so a resumed job
+// continues the exact trajectory of an uninterrupted one — same Adapt
+// decisions, bit-identical Nusselt numbers.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rhea/internal/fem"
+	"rhea/internal/rhea"
+	"rhea/internal/sim"
+	"rhea/internal/stokes"
+)
+
+// ErrNotFound reports a job id that was never issued.
+var ErrNotFound = errors.New("scenario: job not found")
+
+// Job lifecycle states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateStopped = "stopped"
+	StateFailed  = "failed"
+)
+
+// Spec describes one convection scenario over the wire. Zero values
+// pick the pinned defaults of the chosen kind, which reproduce the
+// repository's regression scenarios (internal/rhea physics_test.go and
+// shell_test.go). The initial temperature and viscosity law are fixed
+// per kind: rhea's config fingerprint cannot cover function-valued
+// fields, so a resumable spec must not let callers vary them.
+type Spec struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "box" | "shell"
+
+	Ranks  int `json:"ranks,omitempty"` // communicator size (default 2)
+	Cycles int `json:"cycles"`          // RunCycle count (required)
+
+	Ra          float64 `json:"ra,omitempty"`
+	BaseLevel   int     `json:"base_level,omitempty"`
+	MinLevel    int     `json:"min_level,omitempty"`
+	MaxLevel    int     `json:"max_level,omitempty"`
+	TargetElems int64   `json:"target_elems,omitempty"`
+	AdaptEvery  int     `json:"adapt_every,omitempty"`
+	Picard      int     `json:"picard,omitempty"`
+	MinresTol   float64 `json:"minres_tol,omitempty"`
+	MatrixFree  bool    `json:"matrix_free,omitempty"`
+	GMG         bool    `json:"gmg,omitempty"` // geometric multigrid preconditioner
+
+	// CheckpointEvery writes a committed snapshot every N completed
+	// cycles (0: only at the end of the run and on stop).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+}
+
+// maxRanks bounds the simulated communicator size a request may ask
+// for; every rank is a goroutine driving real solves.
+const maxRanks = 64
+
+// normalize fills the spec defaults and validates the rest.
+func (sp *Spec) normalize() error {
+	if sp.Kind != "box" && sp.Kind != "shell" {
+		return fmt.Errorf("scenario: kind %q is not \"box\" or \"shell\"", sp.Kind)
+	}
+	if sp.Ranks == 0 {
+		sp.Ranks = 2
+	}
+	if sp.Ranks < 1 || sp.Ranks > maxRanks {
+		return fmt.Errorf("scenario: ranks %d outside [1, %d]", sp.Ranks, maxRanks)
+	}
+	if sp.Cycles < 1 {
+		return fmt.Errorf("scenario: cycles %d must be positive", sp.Cycles)
+	}
+	if sp.CheckpointEvery < 0 {
+		return fmt.Errorf("scenario: checkpoint_every %d must be non-negative", sp.CheckpointEvery)
+	}
+	if sp.MinLevel > sp.MaxLevel || sp.BaseLevel > sp.MaxLevel && sp.MaxLevel != 0 {
+		return fmt.Errorf("scenario: inconsistent levels base=%d min=%d max=%d", sp.BaseLevel, sp.MinLevel, sp.MaxLevel)
+	}
+	return nil
+}
+
+// Config translates the spec into a rhea.Config with the pinned
+// per-kind initial condition and viscosity law.
+func (sp Spec) Config() rhea.Config {
+	var cfg rhea.Config
+	switch sp.Kind {
+	case "shell":
+		cfg = rhea.Config{
+			Shell:       true,
+			Ra:          1e4,
+			InitialTemp: rhea.ShellBlobTemp,
+			BaseLevel:   1,
+			MinLevel:    1,
+			MaxLevel:    3,
+			TargetElems: 400,
+		}
+	default: // "box"
+		cfg = rhea.Config{
+			Dom:         fem.UnitDomain,
+			Ra:          1e4,
+			InitialTemp: rhea.BoxBlobTemp,
+			BaseLevel:   2,
+			MinLevel:    1,
+			MaxLevel:    3,
+			TargetElems: 200,
+		}
+	}
+	cfg.Visc = rhea.TemperatureDependent(1, 1)
+	cfg.AdaptEvery = 4
+	cfg.Picard = 1
+	cfg.InitAdapt = 1
+	if sp.Ra != 0 {
+		cfg.Ra = sp.Ra
+	}
+	if sp.BaseLevel != 0 {
+		cfg.BaseLevel = uint8(sp.BaseLevel)
+	}
+	if sp.MinLevel != 0 {
+		cfg.MinLevel = uint8(sp.MinLevel)
+	}
+	if sp.MaxLevel != 0 {
+		cfg.MaxLevel = uint8(sp.MaxLevel)
+	}
+	if sp.TargetElems != 0 {
+		cfg.TargetElems = sp.TargetElems
+	}
+	if sp.AdaptEvery != 0 {
+		cfg.AdaptEvery = sp.AdaptEvery
+	}
+	if sp.Picard != 0 {
+		cfg.Picard = sp.Picard
+	}
+	if sp.MinresTol != 0 {
+		cfg.MinresTol = sp.MinresTol
+	}
+	cfg.MatrixFree = sp.MatrixFree
+	if sp.GMG {
+		cfg.MatrixFree = true
+		cfg.Precond = stokes.PrecondGMG
+	}
+	return cfg
+}
+
+// CycleDiag is one cycle's worth of streamed diagnostics.
+type CycleDiag struct {
+	Cycle       int     `json:"cycle"` // 1-based completed-cycle count
+	Step        int     `json:"step"`
+	Time        float64 `json:"time"`
+	Elements    int64   `json:"elements"`
+	MinresIters int     `json:"minres_iters"`
+	Nu          float64 `json:"nu"`
+	Vrms        float64 `json:"vrms"`
+	WallSecs    float64 `json:"wall_secs"`
+}
+
+// JobView is the externally visible snapshot of a job.
+type JobView struct {
+	ID           int    `json:"id"`
+	Spec         Spec   `json:"spec"`
+	State        string `json:"state"`
+	Error        string `json:"error,omitempty"`
+	CyclesDone   int    `json:"cycles_done"`
+	TargetCycles int    `json:"target_cycles"`
+	Snapshot     string `json:"snapshot,omitempty"` // latest committed checkpoint
+}
+
+type job struct {
+	id         int
+	spec       Spec
+	state      string
+	err        string
+	cyclesDone int
+	target     int
+	snapshot   string
+	resumeFrom string // set while queued for a resume
+	diags      []CycleDiag
+	stop       atomic.Bool
+}
+
+// Manager owns the job table, the queue and the worker pool. All
+// methods are safe for concurrent use.
+type Manager struct {
+	root   string
+	mu     sync.Mutex
+	jobs   []*job
+	queue  chan *job
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewManager starts workers goroutines draining a job queue.
+// Checkpoints are written under root.
+func NewManager(root string, workers int) *Manager {
+	if workers < 1 {
+		workers = 1
+	}
+	m := &Manager{root: root, queue: make(chan *job, 1024)}
+	m.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer m.wg.Done()
+			for j := range m.queue {
+				m.runJob(j)
+			}
+		}()
+	}
+	return m
+}
+
+// Close stops accepting work, drains the queue and waits for running
+// jobs to finish their current run.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+// Submit validates sp, queues a new job and returns its view.
+func (m *Manager) Submit(sp Spec) (JobView, error) {
+	if err := sp.normalize(); err != nil {
+		return JobView{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return JobView{}, fmt.Errorf("scenario: manager is shut down")
+	}
+	j := &job{id: len(m.jobs) + 1, spec: sp, state: StateQueued, target: sp.Cycles}
+	select {
+	case m.queue <- j:
+	default:
+		return JobView{}, fmt.Errorf("scenario: job queue is full")
+	}
+	m.jobs = append(m.jobs, j)
+	return m.viewLocked(j), nil
+}
+
+// Resume requeues a terminal job for extra more cycles, restoring from
+// its latest committed snapshot.
+func (m *Manager) Resume(id, extra int) (JobView, error) {
+	if extra < 1 {
+		return JobView{}, fmt.Errorf("scenario: resume needs a positive cycle count")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, err := m.jobLocked(id)
+	if err != nil {
+		return JobView{}, err
+	}
+	if m.closed {
+		return JobView{}, fmt.Errorf("scenario: manager is shut down")
+	}
+	if j.state == StateQueued || j.state == StateRunning {
+		return JobView{}, fmt.Errorf("scenario: job %d is %s; only terminal jobs can be resumed", id, j.state)
+	}
+	if j.snapshot == "" {
+		return JobView{}, fmt.Errorf("scenario: job %d has no committed snapshot to resume from", id)
+	}
+	j.target = j.cyclesDone + extra
+	j.resumeFrom = j.snapshot
+	j.state = StateQueued
+	j.err = ""
+	j.stop.Store(false)
+	select {
+	case m.queue <- j:
+	default:
+		j.state = StateFailed
+		j.err = "job queue is full"
+		return JobView{}, fmt.Errorf("scenario: job queue is full")
+	}
+	return m.viewLocked(j), nil
+}
+
+// Stop requests a queued or running job to halt at the next cycle
+// boundary (after writing a resumable snapshot).
+func (m *Manager) Stop(id int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, err := m.jobLocked(id)
+	if err != nil {
+		return err
+	}
+	j.stop.Store(true)
+	return nil
+}
+
+// Get returns the current view of job id.
+func (m *Manager) Get(id int) (JobView, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, err := m.jobLocked(id)
+	if err != nil {
+		return JobView{}, err
+	}
+	return m.viewLocked(j), nil
+}
+
+// List returns views of all jobs in submission order.
+func (m *Manager) List() []JobView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobView, len(m.jobs))
+	for i, j := range m.jobs {
+		out[i] = m.viewLocked(j)
+	}
+	return out
+}
+
+// Diags returns a copy of job id's per-cycle diagnostics starting at
+// index from, plus the job's current state (so streamers know when to
+// stop following).
+func (m *Manager) Diags(id, from int) ([]CycleDiag, string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, err := m.jobLocked(id)
+	if err != nil {
+		return nil, "", err
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from > len(j.diags) {
+		from = len(j.diags)
+	}
+	out := make([]CycleDiag, len(j.diags)-from)
+	copy(out, j.diags[from:])
+	return out, j.state, nil
+}
+
+func (m *Manager) jobLocked(id int) (*job, error) {
+	if id < 1 || id > len(m.jobs) {
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	return m.jobs[id-1], nil
+}
+
+func (m *Manager) viewLocked(j *job) JobView {
+	return JobView{
+		ID: j.id, Spec: j.spec, State: j.state, Error: j.err,
+		CyclesDone: j.cyclesDone, TargetCycles: j.target, Snapshot: j.snapshot,
+	}
+}
+
+func (m *Manager) snapDir(j *job, cycle int) string {
+	return filepath.Join(m.root, fmt.Sprintf("job-%03d", j.id), fmt.Sprintf("cycle-%05d", cycle))
+}
+
+func (m *Manager) setError(j *job, err error) {
+	m.mu.Lock()
+	if j.err == "" {
+		j.err = err.Error()
+	}
+	m.mu.Unlock()
+}
+
+// runJob drives one queued job to a terminal state. The whole
+// communicator lives inside this call; every rank is a goroutine.
+func (m *Manager) runJob(j *job) {
+	m.mu.Lock()
+	j.state = StateRunning
+	target := j.target
+	resumeFrom := j.resumeFrom
+	j.resumeFrom = ""
+	every := j.spec.CheckpointEvery
+	m.mu.Unlock()
+
+	cfg := j.spec.Config()
+	sim.Run(j.spec.Ranks, func(r *sim.Rank) {
+		// The solvers panic on structurally impossible configurations.
+		// Panics from deterministic collective code reach every rank at
+		// the same point, so each rank recovers independently and the
+		// communicator unwinds cleanly.
+		defer func() {
+			if p := recover(); p != nil {
+				m.setError(j, fmt.Errorf("panic: %v", p))
+			}
+		}()
+
+		var s *rhea.Sim
+		var err error
+		lastSnap := -1
+		if resumeFrom != "" {
+			s, err = rhea.Restore(r, cfg, resumeFrom)
+			if err != nil {
+				m.setError(j, err)
+				return
+			}
+			lastSnap = s.Step / s.Cfg.AdaptEvery
+		} else {
+			s = rhea.New(r, cfg)
+		}
+		start := s.Step / s.Cfg.AdaptEvery
+
+		for c := start; c < target; c++ {
+			// The stop flag is sampled per rank at different times; the
+			// sum makes the decision identical everywhere so no rank
+			// leaves the collective sequence early.
+			var bit int64
+			if j.stop.Load() {
+				bit = 1
+			}
+			if r.AllreduceInt64(bit) > 0 {
+				if c > lastSnap {
+					if err := s.Checkpoint(m.snapDir(j, c)); err != nil {
+						m.setError(j, err)
+						return
+					}
+					if r.ID() == 0 {
+						m.commitSnapshot(j, m.snapDir(j, c))
+					}
+				}
+				return
+			}
+
+			t0 := time.Now()
+			ad := s.RunCycle()
+			d := CycleDiag{
+				Cycle:       c + 1,
+				Step:        s.Step,
+				Time:        s.TimeNow,
+				Elements:    ad.ElementsNow,
+				MinresIters: s.LastMinres().Iterations,
+				Nu:          s.Nusselt(),
+				Vrms:        s.RMSVelocity(),
+				WallSecs:    time.Since(t0).Seconds(),
+			}
+			if r.ID() == 0 {
+				m.mu.Lock()
+				j.diags = append(j.diags, d)
+				j.cyclesDone = c + 1
+				m.mu.Unlock()
+			}
+			if (every > 0 && (c+1)%every == 0) || c+1 == target {
+				if err := s.Checkpoint(m.snapDir(j, c+1)); err != nil {
+					m.setError(j, err)
+					return
+				}
+				lastSnap = c + 1
+				if r.ID() == 0 {
+					m.commitSnapshot(j, m.snapDir(j, c+1))
+				}
+			}
+		}
+	})
+
+	m.mu.Lock()
+	switch {
+	case j.err != "":
+		j.state = StateFailed
+	case j.cyclesDone < target:
+		j.state = StateStopped
+	default:
+		j.state = StateDone
+	}
+	m.mu.Unlock()
+}
+
+func (m *Manager) commitSnapshot(j *job, dir string) {
+	m.mu.Lock()
+	j.snapshot = dir
+	m.mu.Unlock()
+}

@@ -1,0 +1,190 @@
+package scenario
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Manager) {
+	t.Helper()
+	m := NewManager(t.TempDir(), 1)
+	srv := httptest.NewServer(NewHandler(m))
+	t.Cleanup(func() {
+		srv.Close()
+		m.Close()
+	})
+	return srv, m
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeView(t *testing.T, resp *http.Response) JobView {
+	t.Helper()
+	defer resp.Body.Close()
+	var v JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestServerEndToEnd exercises the full HTTP lifecycle: health probe,
+// submit, follow the diag stream to completion, inspect, resume, list.
+func TestServerEndToEnd(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+
+	resp = postJSON(t, srv.URL+"/scenarios", tinySpec(2))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	v := decodeView(t, resp)
+	if v.ID != 1 {
+		t.Fatalf("submit view: %+v", v)
+	}
+
+	// Follow the stream: it must deliver both cycles and terminate on
+	// its own once the job is done.
+	resp, err = http.Get(srv.URL + "/scenarios/1/diag?follow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("diag content type %q", ct)
+	}
+	var diags []CycleDiag
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var d CycleDiag
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatalf("bad diag line %q: %v", sc.Text(), err)
+		}
+		diags = append(diags, d)
+	}
+	resp.Body.Close()
+	if len(diags) != 2 || diags[0].Cycle != 1 || diags[1].Cycle != 2 {
+		t.Fatalf("streamed %d diag lines: %+v", len(diags), diags)
+	}
+
+	resp, err = http.Get(srv.URL + "/scenarios/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = decodeView(t, resp)
+	if v.State != StateDone || v.CyclesDone != 2 || v.Snapshot == "" {
+		t.Fatalf("job view after follow: %+v", v)
+	}
+
+	resp = postJSON(t, srv.URL+"/scenarios/1/resume", map[string]int{"cycles": 1})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resume: %s", resp.Status)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		resp, err = http.Get(srv.URL + "/scenarios/1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		v = decodeView(t, resp)
+		if v.State != StateQueued && v.State != StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed job stuck in %s", v.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if v.State != StateDone || v.CyclesDone != 3 {
+		t.Fatalf("resumed job: %+v", v)
+	}
+
+	// ?from skips already-seen cycles.
+	resp, err = http.Get(srv.URL + "/scenarios/1/diag?from=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(strings.Builder)
+	sc = bufio.NewScanner(resp.Body)
+	n := 0
+	for sc.Scan() {
+		body.WriteString(sc.Text())
+		n++
+	}
+	resp.Body.Close()
+	if n != 1 || !strings.Contains(body.String(), `"cycle":3`) {
+		t.Fatalf("diag?from=2 returned %d lines: %s", n, body)
+	}
+
+	resp, err = http.Get(srv.URL + "/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []JobView
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 1 {
+		t.Fatalf("list: %+v", list)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	srv, _ := newTestServer(t)
+	for _, c := range []struct {
+		method, path string
+		body         any
+		want         int
+	}{
+		{http.MethodGet, "/scenarios/7", nil, http.StatusNotFound},
+		{http.MethodGet, "/scenarios/7/diag", nil, http.StatusNotFound},
+		{http.MethodPost, "/scenarios/7/stop", map[string]int{}, http.StatusNotFound},
+		{http.MethodPost, "/scenarios/7/resume", map[string]int{"cycles": 1}, http.StatusNotFound},
+		{http.MethodGet, "/scenarios/zero", nil, http.StatusBadRequest},
+		{http.MethodPost, "/scenarios", Spec{Kind: "torus", Cycles: 1}, http.StatusBadRequest},
+		{http.MethodDelete, "/scenarios", nil, http.StatusMethodNotAllowed},
+		{http.MethodGet, "/scenarios/1/unknown", nil, http.StatusNotFound},
+	} {
+		var resp *http.Response
+		var err error
+		switch c.method {
+		case http.MethodGet:
+			resp, err = http.Get(srv.URL + c.path)
+		case http.MethodPost:
+			resp = postJSON(t, srv.URL+c.path, c.body)
+		default:
+			req, _ := http.NewRequest(c.method, srv.URL+c.path, nil)
+			resp, err = http.DefaultClient.Do(req)
+		}
+		if err != nil {
+			t.Fatalf("%s %s: %v", c.method, c.path, err)
+		}
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s: %s, want %d", c.method, c.path, resp.Status, c.want)
+		}
+		resp.Body.Close()
+	}
+}

@@ -42,6 +42,7 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -843,6 +844,34 @@ func (r *Rank) ExScanFloat(v float64) float64 {
 		run += all[i].(float64)
 	}
 	return run
+}
+
+// AllreduceError agrees on the outcome of a per-rank fallible operation
+// (collective). Every rank passes its local error (nil on success); the
+// call returns nil on every rank iff every rank passed nil, and
+// otherwise returns, on every rank, one error naming each failing rank
+// and its message. Collective I/O uses this so that a failure on any
+// rank surfaces loudly on all ranks instead of desynchronizing the
+// SPMD collective sequence.
+func (r *Rank) AllreduceError(err error) error {
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+		if msg == "" {
+			msg = "unspecified error"
+		}
+	}
+	all := r.Allgather(msg, len(msg))
+	var combined []string
+	for rank, a := range all {
+		if s := a.(string); s != "" {
+			combined = append(combined, fmt.Sprintf("rank %d: %s", rank, s))
+		}
+	}
+	if combined == nil {
+		return nil
+	}
+	return fmt.Errorf("%s", strings.Join(combined, "; "))
 }
 
 // Bcast distributes root's payload to every rank down a binomial tree.
