@@ -19,10 +19,10 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 2,5,6,7,8,9,10,sec6,12,sec7,matfree,gmg,timeloop,shell,scaling,kernels or all")
+	fig := flag.String("fig", "all", "which experiment: 2,5,6,7,8,9,10,sec6,12,sec7,matfree,gmg,timeloop,shell,bunge,scaling,kernels or all")
 	scaleFlag := flag.String("scale", "small", "small or full")
-	jsonOut := flag.Bool("json", false, "write BENCH_scaling.json / BENCH_kernels.json when the scaling or kernels experiment runs")
-	jsonPath := flag.String("jsonpath", "", "output path for -json (default BENCH_scaling.json / BENCH_kernels.json per experiment)")
+	jsonOut := flag.Bool("json", false, "write BENCH_<fig>.json when the scaling, kernels or bunge experiment runs")
+	jsonPath := flag.String("jsonpath", "", "output path for -json (default BENCH_scaling.json / BENCH_kernels.json / BENCH_bunge.json per experiment)")
 	weakPer := flag.Int64("weakper", 24, "scaling figure: weak-series elements per rank")
 	weakMax := flag.Int("weakmax", 0, "scaling figure: largest weak-series rank count (0 = 256, or 512 at -scale full)")
 	flag.Parse()
@@ -81,6 +81,21 @@ func main() {
 				path = "BENCH_scaling.json"
 			}
 			if err := experiments.WriteScalingJSON(path, cases, fit); err != nil {
+				fmt.Fprintf(os.Stderr, "alpsbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(w, "  wrote %s\n", path)
+		}
+	})
+	run("bunge", func() {
+		t, cases := experiments.FigBunge(scale)
+		t.Print(w)
+		if *jsonOut {
+			path := *jsonPath
+			if path == "" {
+				path = "BENCH_bunge.json"
+			}
+			if err := experiments.WriteBungeJSON(path, cases); err != nil {
 				fmt.Fprintf(os.Stderr, "alpsbench: %v\n", err)
 				os.Exit(1)
 			}

@@ -7,8 +7,14 @@
 // With -checkpoint DIR a committed snapshot is written under DIR after
 // every cycle; with -restore SNAP the run resumes from that snapshot and
 // continues the exact trajectory of the uninterrupted run (pass the same
-// scenario flags as the writing run — the snapshot carries a config
-// fingerprint and refuses to resume under different knobs).
+// scenario flags as the writing run — the snapshot's manifest is checked
+// against the flags before the run starts, so a -ranks/-shell/-order/...
+// mismatch is a clear startup error, not a late panic).
+//
+// With -case NAME the scenario flags are ignored and the named entry of
+// the benchmark registry (internal/bench: box, shell, bunge1..bunge4)
+// runs its pinned cycle schedule instead, printing the Nu/Vrms table row
+// the reference tables pin.
 package main
 
 import (
@@ -17,8 +23,11 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 
+	"rhea/internal/bench"
+	"rhea/internal/ckpt"
 	"rhea/internal/fem"
 	"rhea/internal/rhea"
 	"rhea/internal/sim"
@@ -39,9 +48,20 @@ func main() {
 	localamg := flag.Bool("localamg", false, "per-rank block-Jacobi AMG hierarchies instead of the redundant global hierarchy (cheaper setup, more iterations)")
 	noreuse := flag.Bool("noreuse", false, "rebuild the full Stokes solver setup every Picard iteration instead of caching the mesh-dependent half")
 	order := flag.Int("order", 1, "velocity element order: 1 for the stabilized equal-order Q1-Q1 pair, 2 for the Taylor-Hood Q2-Q1 pair (requires -matfree -precond gmg; runs on a uniform mesh at -base, no AMR)")
+	slip := flag.String("slip", "", "free-slip shell boundaries: top (free outer surface) or both (requires -shell)")
 	ckptDir := flag.String("checkpoint", "", "write a committed snapshot under this directory after every cycle")
 	restore := flag.String("restore", "", "resume from this committed snapshot instead of starting fresh")
+	caseName := flag.String("case", "", "run this benchmark-registry case ("+strings.Join(bench.Names(), ", ")+") instead of the flag-built scenario")
 	flag.Parse()
+
+	if *caseName != "" {
+		if *restore != "" || *ckptDir != "" {
+			fmt.Println("-case runs a fixed benchmark schedule and cannot be combined with -restore or -checkpoint")
+			os.Exit(2)
+		}
+		runCase(*caseName, *ranks)
+		return
+	}
 
 	var pk stokes.PrecondKind
 	switch *precond {
@@ -65,11 +85,22 @@ func main() {
 		fmt.Println("-order 2 is limited to the box scenario")
 		os.Exit(2)
 	}
+	switch *slip {
+	case "", "top", "both":
+	default:
+		fmt.Printf("unknown -slip %q (want top or both)\n", *slip)
+		os.Exit(2)
+	}
+	if *slip != "" && !*shell {
+		fmt.Println("-slip needs -shell (free-slip frames apply to the shell boundaries)")
+		os.Exit(2)
+	}
 
 	var cfg rhea.Config
 	if *shell {
 		cfg = rhea.Config{
 			Shell:       true,
+			ShellSlip:   *slip,
 			Ra:          *ra,
 			InitialTemp: rhea.ShellBlobTemp,
 			Visc:        rhea.TemperatureDependent(1, 1),
@@ -118,6 +149,39 @@ func main() {
 		cfg.MinLevel = uint8(*base)
 		cfg.MaxLevel = uint8(*base)
 		cfg.NoInitAdapt = true
+	}
+
+	if *restore != "" {
+		// Preflight the snapshot manifest against the flags before any
+		// collective work: a mismatched -ranks/-shell/-order/... must be a
+		// clear startup error naming the offending flags, not a mid-run
+		// failure (or, for contradictory scenario shapes, a late panic).
+		meta, err := ckpt.Peek(*restore)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-restore %s: %v\n", *restore, err)
+			os.Exit(2)
+		}
+		if meta.Ranks != *ranks {
+			fmt.Fprintf(os.Stderr, "-restore %s: snapshot was written by %d ranks; rerun with -ranks %d\n",
+				*restore, meta.Ranks, meta.Ranks)
+			os.Exit(2)
+		}
+		if meta.Forest != *shell {
+			fmt.Fprintf(os.Stderr, "-restore %s: snapshot domain kind (shell=%v) contradicts -shell=%v\n",
+				*restore, meta.Forest, *shell)
+			os.Exit(2)
+		}
+		if fp := cfg.Fingerprint(); meta.ConfigFP != fp {
+			fmt.Fprintf(os.Stderr, "-restore %s: snapshot configuration fingerprint %016x does not match these flags (%016x);\n"+
+				"pass the same scenario flags as the writing run (-shell -slip -order -ra -base -max-level -target -matfree -precond -localamg)\n",
+				*restore, meta.ConfigFP, fp)
+			os.Exit(2)
+		}
+		if done := meta.Step / int64(cfg.AdaptEvery); done >= int64(*cycles) {
+			fmt.Fprintf(os.Stderr, "-restore %s: snapshot is already at cycle %d; nothing to do for -cycles %d\n",
+				*restore, done, *cycles)
+			os.Exit(2)
+		}
 	}
 
 	fmt.Printf("RHEA: %d ranks, Ra=%.1e, yield=%.1e, order %d, levels %d..%d, target %d elements\n",
@@ -196,6 +260,29 @@ func main() {
 		}
 	})
 	if failed.Load() {
+		os.Exit(1)
+	}
+}
+
+// runCase executes one benchmark-registry case and prints its table row.
+func runCase(name string, ranks int) {
+	c, ok := bench.Lookup(name)
+	if !ok {
+		fmt.Printf("unknown -case %q (want one of: %s)\n", name, strings.Join(bench.Names(), ", "))
+		os.Exit(2)
+	}
+	fmt.Printf("RHEA benchmark %s: %s (%d ranks)\n", c.Name, c.Desc, ranks)
+	var res bench.Result
+	sim.Run(ranks, func(r *sim.Rank) {
+		out := bench.Run(r, c)
+		if r.ID() == 0 {
+			res = out
+		}
+	})
+	fmt.Printf("%-8s %8s %8s %14s %14s\n", "case", "elems", "minres", "Nu", "Vrms")
+	fmt.Printf("%-8s %8d %8d %14.8f %14.8f\n", c.Name, res.Elements, res.Iters, res.Nu, res.Vrms)
+	if !res.Converged {
+		fmt.Fprintln(os.Stderr, "final Stokes solve did not converge")
 		os.Exit(1)
 	}
 }

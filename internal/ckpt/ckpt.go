@@ -34,6 +34,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 
 	"rhea/internal/sim"
 )
@@ -384,7 +385,51 @@ func Read(r *sim.Rank, dir string) (*State, error) {
 	return st, nil
 }
 
+// Meta summarizes a committed snapshot's manifest without touching any
+// shard data: enough for a caller to validate command-line flags (rank
+// count, configuration fingerprint, domain kind, resume step) against a
+// snapshot before entering any collective call.
+type Meta struct {
+	Ranks    int
+	Step     int64
+	TimeNow  float64
+	ConfigFP uint64
+	Forest   bool
+}
+
+// Peek reads and validates the manifest in dir (local, non-collective;
+// any rank count is accepted). Use it for preflight checks; Read remains
+// the authoritative collective loader.
+func Peek(dir string) (Meta, error) {
+	m, err := readManifestAny(dir)
+	if err != nil {
+		return Meta{}, fmt.Errorf("ckpt: %w", err)
+	}
+	fp, err := strconv.ParseUint(m.ConfigFP, 16, 64)
+	if err != nil {
+		return Meta{}, fmt.Errorf("ckpt: manifest config_fp %q is not a 64-bit hex fingerprint: %w", m.ConfigFP, err)
+	}
+	return Meta{
+		Ranks:    m.Ranks,
+		Step:     m.Step,
+		TimeNow:  math.Float64frombits(m.TimeBits),
+		ConfigFP: fp,
+		Forest:   m.Forest,
+	}, nil
+}
+
 func readManifest(dir string, ranks int) (*manifest, error) {
+	m, err := readManifestAny(dir)
+	if err != nil {
+		return nil, err
+	}
+	if m.Ranks != ranks {
+		return nil, fmt.Errorf("snapshot was written by %d ranks; restore requires the same communicator size (got %d)", m.Ranks, ranks)
+	}
+	return m, nil
+}
+
+func readManifestAny(dir string) (*manifest, error) {
 	b, err := os.ReadFile(filepath.Join(dir, ManifestName))
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -401,9 +446,6 @@ func readManifest(dir string, ranks int) (*manifest, error) {
 	}
 	if m.Version != Version {
 		return nil, fmt.Errorf("snapshot format version %d, this reader handles %d", m.Version, Version)
-	}
-	if m.Ranks != ranks {
-		return nil, fmt.Errorf("snapshot was written by %d ranks; restore requires the same communicator size (got %d)", m.Ranks, ranks)
 	}
 	if len(m.Shards) != m.Ranks {
 		return nil, fmt.Errorf("manifest lists %d shards for %d ranks", len(m.Shards), m.Ranks)

@@ -1,0 +1,179 @@
+package ckpt
+
+// Exhaustive corruption tests for the shard format: a snapshot reader
+// that silently restores wrong state is worse than one that loses the
+// snapshot, so decodeShard must reject EVERY single-bit flip and EVERY
+// truncation of a shard — not just the handful of spot-checks in
+// ckpt_test.go — and the collective Read path must turn any such damage
+// into the same loud error on every rank. CRC-32 guarantees detection
+// of all single-bit errors and all burst errors up to 32 bits; these
+// tests pin that the implementation actually puts the checksum in
+// front of every other use of the bytes.
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rhea/internal/sim"
+)
+
+// fuzzShard is a small but fully featured shard: forest flag, tree ids,
+// leaves, all five fields and extra scalars, so every encoder branch
+// contributes bytes to the corpus.
+func fuzzShard(t *testing.T) []byte {
+	t.Helper()
+	st := testState(0)
+	st.Forest = true
+	st.Trees = make([]int32, len(st.Leaves))
+	for i := range st.Trees {
+		st.Trees[i] = int32(20 + i)
+	}
+	b, err := encodeShard(st)
+	if err != nil {
+		t.Fatalf("encodeShard: %v", err)
+	}
+	return b
+}
+
+// TestShardDecodeEveryBitFlip flips every bit of every byte of a shard,
+// one at a time, and asserts decodeShard rejects each mutant. A single
+// surviving mutant would mean a corrupted checkpoint can restore as
+// silently wrong simulation state.
+func TestShardDecodeEveryBitFlip(t *testing.T) {
+	shard := fuzzShard(t)
+	if _, err := decodeShard(shard); err != nil {
+		t.Fatalf("pristine shard does not decode: %v", err)
+	}
+	mut := make([]byte, len(shard))
+	for off := range shard {
+		for bit := 0; bit < 8; bit++ {
+			copy(mut, shard)
+			mut[off] ^= 1 << bit
+			if _, err := decodeShard(mut); err == nil {
+				t.Fatalf("bit %d of byte %d/%d flipped and decodeShard accepted the shard", bit, off, len(shard))
+			}
+		}
+	}
+}
+
+// TestShardDecodeEveryTruncation decodes every proper prefix of a shard
+// (every truncation point, byte-granular) plus trailing-garbage
+// extensions, asserting each is rejected.
+func TestShardDecodeEveryTruncation(t *testing.T) {
+	shard := fuzzShard(t)
+	for n := 0; n < len(shard); n++ {
+		if _, err := decodeShard(shard[:n]); err == nil {
+			t.Fatalf("shard truncated to %d/%d bytes decoded without error", n, len(shard))
+		}
+	}
+	for _, extra := range []int{1, 4, 64} {
+		grown := append(append([]byte(nil), shard...), make([]byte, extra)...)
+		if _, err := decodeShard(grown); err == nil {
+			t.Fatalf("shard grown by %d trailing bytes decoded without error", extra)
+		}
+	}
+}
+
+// TestReadCorruptShardEveryOffsetCollective damages the on-disk shard
+// of rank 1 at every byte offset in turn (cycling through the bit
+// positions) and asserts the collective Read fails on BOTH ranks with
+// the same error — the undamaged rank must not proceed with restored
+// state while its peer failed.
+func TestReadCorruptShardEveryOffsetCollective(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snap")
+	sim.Run(2, func(r *sim.Rank) {
+		if err := Write(r, dir, testState(r.ID())); err != nil {
+			t.Errorf("Write: %v", err)
+		}
+	})
+	path := filepath.Join(dir, "shard-00001.bin")
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := 1
+	if testing.Short() {
+		step = 17
+	}
+	mut := make([]byte, len(orig))
+	for off := 0; off < len(orig); off += step {
+		copy(mut, orig)
+		mut[off] ^= 1 << (off % 8)
+		if err := os.WriteFile(path, mut, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		var errs [2]error
+		sim.Run(2, func(r *sim.Rank) {
+			_, err := Read(r, dir)
+			errs[r.ID()] = err
+		})
+		if errs[0] == nil || errs[1] == nil {
+			t.Fatalf("offset %d: Read returned errors [%v, %v]; corruption must fail on every rank", off, errs[0], errs[1])
+		}
+		if errs[0].Error() != errs[1].Error() {
+			t.Fatalf("offset %d: ranks disagree on the failure: %q vs %q", off, errs[0], errs[1])
+		}
+	}
+	// Truncations of the on-disk shard, every length (sampled in -short).
+	for n := 0; n < len(orig); n += step {
+		if err := os.WriteFile(path, orig[:n], 0o666); err != nil {
+			t.Fatal(err)
+		}
+		var errs [2]error
+		sim.Run(2, func(r *sim.Rank) {
+			_, err := Read(r, dir)
+			errs[r.ID()] = err
+		})
+		if errs[0] == nil || errs[1] == nil {
+			t.Fatalf("truncation to %d bytes: Read returned errors [%v, %v]", n, errs[0], errs[1])
+		}
+	}
+	// Restore the pristine shard: the snapshot must read again, with the
+	// awkward float payloads bit-identical (no state leaked from the
+	// corrupted attempts).
+	if err := os.WriteFile(path, orig, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(2, func(r *sim.Rank) {
+		st, err := Read(r, dir)
+		if err != nil {
+			t.Errorf("rank %d: pristine snapshot no longer reads: %v", r.ID(), err)
+			return
+		}
+		want := testState(r.ID())
+		if st.Step != want.Step || math.Float64bits(st.TimeNow) != math.Float64bits(want.TimeNow) {
+			t.Errorf("rank %d: restored header differs", r.ID())
+		}
+		if !bitsEqual(st.T, want.T) || !bitsEqual(st.P, want.P) {
+			t.Errorf("rank %d: restored fields are not bit-identical", r.ID())
+		}
+	})
+}
+
+// TestPeek pins the non-collective manifest preflight: it must report
+// the snapshot's rank count, step, time and fingerprint without caring
+// about the caller's communicator size, and must reject an uncommitted
+// directory.
+func TestPeek(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snap")
+	sim.Run(3, func(r *sim.Rank) {
+		if err := Write(r, dir, testState(r.ID())); err != nil {
+			t.Errorf("Write: %v", err)
+		}
+	})
+	meta, err := Peek(dir)
+	if err != nil {
+		t.Fatalf("Peek: %v", err)
+	}
+	want := testState(0)
+	if meta.Ranks != 3 || meta.Step != want.Step || meta.Forest ||
+		math.Float64bits(meta.TimeNow) != math.Float64bits(want.TimeNow) ||
+		meta.ConfigFP != want.ConfigFP {
+		t.Errorf("Peek = %+v, want ranks 3 step %d fp %016x", meta, want.Step, want.ConfigFP)
+	}
+	if _, err := Peek(t.TempDir()); err == nil {
+		t.Error("Peek accepted a directory without a manifest")
+	}
+}

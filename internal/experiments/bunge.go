@@ -1,0 +1,108 @@
+package experiments
+
+// The Bunge benchmark gallery: the community mantle-convection cases of
+// Bunge, Richards & Baumgartner (layered viscosity, free-slip outer
+// surface, Earth-like shell radii) from the internal/bench registry,
+// run across rank counts. The registry pins the reference Nu/Vrms
+// values; this figure reports them as the paper-style table and the
+// committed BENCH_bunge.json record.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"rhea/internal/bench"
+	"rhea/internal/sim"
+)
+
+// BungeCase is one rank-count run of one registry case.
+type BungeCase struct {
+	Case     string  `json:"case"`
+	Desc     string  `json:"desc"`
+	Ranks    int     `json:"ranks"`
+	Elements int64   `json:"elements"`
+	Iters    int     `json:"minres_iters"`
+	Nu       float64 `json:"nu"`
+	Vrms     float64 `json:"vrms"`
+	Wall     float64 `json:"wall_s"`
+}
+
+// FigBunge runs Bunge cases 1-4 free-slip-top on the cubed-sphere shell
+// at 1, 2 and 4 ranks (plus 8 at -scale full) and tabulates the pinned
+// diagnostics. The table prints Nu/Vrms at the precision at which the
+// rank counts agree exactly; the JSON record keeps the full values.
+func FigBunge(scale Scale) (*Table, []BungeCase) {
+	ranks := []int{1, 2, 4}
+	if scale == Full {
+		ranks = []int{1, 2, 4, 8}
+	}
+	var cases []BungeCase
+	for _, c := range bench.Cases() {
+		if len(c.Name) < 5 || c.Name[:5] != "bunge" {
+			continue
+		}
+		for _, p := range ranks {
+			c, p := c, p
+			var row BungeCase
+			start := time.Now()
+			sim.Run(p, func(r *sim.Rank) {
+				res := bench.Run(r, c)
+				if r.ID() == 0 {
+					row = BungeCase{
+						Case:     c.Name,
+						Desc:     c.Desc,
+						Ranks:    p,
+						Elements: res.Elements,
+						Iters:    res.Iters,
+						Nu:       res.Nu,
+						Vrms:     res.Vrms,
+					}
+				}
+			})
+			row.Wall = time.Since(start).Seconds()
+			cases = append(cases, row)
+		}
+	}
+
+	t := &Table{
+		Title:  "Bunge benchmark gallery: free-slip top, layered viscosity, Earth-like shell",
+		Header: []string{"case", "ranks", "elements", "minres", "Nu", "Vrms", "wall s"},
+		Notes: []string{
+			"rotated-frame free-slip outer surface, no-slip base; viscosity jump at 660 km",
+			"Nu and Vrms agree across rank counts to reduction rounding (pinned in internal/bench)",
+		},
+	}
+	for _, c := range cases {
+		t.Rows = append(t.Rows, []string{
+			c.Case,
+			fmt.Sprintf("%d", c.Ranks),
+			fmt.Sprintf("%d", c.Elements),
+			fmt.Sprintf("%d", c.Iters),
+			fmt.Sprintf("%.4f", c.Nu),
+			fmt.Sprintf("%.4f", c.Vrms),
+			fmt.Sprintf("%.2f", c.Wall),
+		})
+	}
+	return t, cases
+}
+
+// BungeJSON is the committed benchmark record (BENCH_bunge.json).
+type BungeJSON struct {
+	Generated string      `json:"generated"`
+	Cases     []BungeCase `json:"cases"`
+}
+
+// WriteBungeJSON writes the gallery record.
+func WriteBungeJSON(path string, cases []BungeCase) error {
+	rec := BungeJSON{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Cases:     cases,
+	}
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -539,6 +539,13 @@ func (h *Hierarchy) Precond(bc fem.ScalarBC) krylov.Operator {
 	return c
 }
 
+// FineDiag returns the raw (boundary-condition independent) diagonal of
+// the finest level's viscosity-scaled scalar stiffness operator in the
+// node layout (collective on the first call after a Rebuild, cached
+// afterwards). The Stokes solver's free-slip boundary Jacobi rows are
+// built from it.
+func (h *Hierarchy) FineDiag() *la.Vec { return h.sharedDiag(0) }
+
 // sharedDiag computes the raw operator diagonal of smoothed level l for
 // the level's current viscosity (collective: one ghost scatter-add): a
 // flat scan of the precomputed slot-space plan, agreeing with

@@ -28,8 +28,21 @@ import (
 
 // DofBC reports whether dof component c (0..2 velocity, 3 pressure) of
 // the independent node with global id g is Dirichlet-constrained, and its
-// value. It must be evaluable for every node the rank references.
+// value. It must be evaluable for every node the rank references. At
+// nodes carrying a rotated boundary frame (see Frame) the component index
+// refers to the LOCAL frame: c = 0 is the boundary-normal direction,
+// c = 1,2 the tangential ones.
 type DofBC func(g int64, c int) (float64, bool)
+
+// Frame reports the rotated per-node boundary basis of the independent
+// node with global id g, if it has one: Q's columns are the orthonormal
+// (normal, tangent, tangent) directions, so v_cartesian = Q v_local and
+// v_local = Q^T v_cartesian. Free-slip boundaries supply a frame at every
+// slip node and constrain only local component 0 through DofBC; the
+// operator is then applied conjugated, Q^T A Q, so its solution vector
+// lives in the local frames at those nodes. A nil Frame (or one that
+// reports no frames) leaves the operator in plain Cartesian components.
+type Frame func(g int64) (Q [3][3]float64, ok bool)
 
 // Options tunes the matrix-free apply.
 type Options struct {
@@ -55,6 +68,12 @@ type Operator struct {
 	fixedIdx []int32   // slot-space dof indices read as zero (constrained columns)
 	bcval    []float64 // len nSlots*4: Dirichlet values at constrained dofs
 	ownFixed []int32   // owned dof indices with identity rows
+
+	// Rotated boundary frames (free-slip): slots whose velocity block is
+	// conjugated into a local (normal, tangent, tangent) basis, and the
+	// basis matrices (columns = local directions in Cartesian components).
+	rotSlot []int32
+	rotQ    [][3][3]float64
 
 	pool   *pool
 	xbuf   []float64                               // nSlots*4 gathered input
@@ -154,8 +173,10 @@ func (p *pool) run(src []float64, loop func(w, lo, hi int, src, dst []float64)) 
 // here — kernels, slot numbering, ghost plan, constraint tables, worker
 // chunks — depends only on the mesh and boundary conditions; etaElem may
 // be nil and supplied later via SetViscosity, which is how the persistent
-// solver reuses one Operator across viscosity updates.
-func New(m *mesh.Mesh, dom fem.Domain, layout *la.Layout, etaElem []float64, bc DofBC, opts Options) *Operator {
+// solver reuses one Operator across viscosity updates. frame (may be nil)
+// supplies rotated boundary bases for free-slip nodes; where it reports a
+// frame the operator is conjugated, Q^T A Q, and bc indices are local.
+func New(m *mesh.Mesh, dom fem.Domain, layout *la.Layout, etaElem []float64, bc DofBC, frame Frame, opts Options) *Operator {
 	op := &Operator{m: m, layout: layout, eta: etaElem, nOwned: m.NumOwned}
 
 	// Per-element kernels: aliased per octree level on axis-aligned
@@ -174,6 +195,12 @@ func New(m *mesh.Mesh, dom fem.Domain, layout *la.Layout, etaElem []float64, bc 
 	op.bcval = make([]float64, op.nSlots*4)
 	for s := 0; s < op.nSlots; s++ {
 		g := sm.GIDAt(s)
+		if frame != nil {
+			if Q, ok := frame(g); ok {
+				op.rotSlot = append(op.rotSlot, int32(s))
+				op.rotQ = append(op.rotQ, Q)
+			}
+		}
 		for c := 0; c < 4; c++ {
 			if v, is := bc(g, c); is {
 				op.fixedIdx = append(op.fixedIdx, int32(4*s+c))
@@ -234,19 +261,55 @@ func (op *Operator) elementLoop(_, lo, hi int, src, dst []float64) {
 	}
 }
 
+// rotFwd rotates the velocity blocks of the slot-space buffer at every
+// framed slot from local to Cartesian components: v <- Q v. The element
+// loop always runs in Cartesian components; conjugation happens entirely
+// in these two slot-space passes.
+func (op *Operator) rotFwd(buf []float64) {
+	for k, s := range op.rotSlot {
+		Q := &op.rotQ[k]
+		base := int(s) * 4
+		v0, v1, v2 := buf[base], buf[base+1], buf[base+2]
+		buf[base] = Q[0][0]*v0 + Q[0][1]*v1 + Q[0][2]*v2
+		buf[base+1] = Q[1][0]*v0 + Q[1][1]*v1 + Q[1][2]*v2
+		buf[base+2] = Q[2][0]*v0 + Q[2][1]*v1 + Q[2][2]*v2
+	}
+}
+
+// rotBwd rotates the velocity blocks of the slot-space buffer at every
+// framed slot from Cartesian back to local components: v <- Q^T v. It is
+// applied to ghost slots too: the owner holds the same frame for the same
+// global node, and Q^T is linear, so rotating partial contributions
+// before the scatter-add is exact.
+func (op *Operator) rotBwd(buf []float64) {
+	for k, s := range op.rotSlot {
+		Q := &op.rotQ[k]
+		base := int(s) * 4
+		v0, v1, v2 := buf[base], buf[base+1], buf[base+2]
+		buf[base] = Q[0][0]*v0 + Q[1][0]*v1 + Q[2][0]*v2
+		buf[base+1] = Q[0][1]*v0 + Q[1][1]*v1 + Q[2][1]*v2
+		buf[base+2] = Q[0][2]*v0 + Q[1][2]*v1 + Q[2][2]*v2
+	}
+}
+
 // Apply computes y = A x for the Dirichlet-eliminated coupled Stokes
 // operator (collective). It matches the assembled CSR of stokes.Assemble
 // to rounding: constrained columns are read as zero and constrained owned
-// rows return x unchanged (identity).
+// rows return x unchanged (identity). At framed (free-slip) nodes the
+// apply is conjugated — x and y hold local-frame velocity components
+// there, and constraint elimination happens in the local frame before the
+// forward rotation.
 func (op *Operator) Apply(x, y *la.Vec) {
 	// Gather owned + ghost nodal blocks into slot space.
 	copy(op.xbuf[:op.nOwned*4], x.Data)
 	op.gx.Gather(x.Data, op.xbuf[op.nOwned*4:])
-	// Eliminated columns read zero.
+	// Eliminated columns read zero (local frame at framed slots).
 	for _, idx := range op.fixedIdx {
 		op.xbuf[idx] = 0
 	}
+	op.rotFwd(op.xbuf)
 	acc := op.pool.run(op.xbuf, op.loopFn)
+	op.rotBwd(acc)
 	copy(y.Data, acc[:op.nOwned*4])
 	op.gx.ScatterAdd(acc[op.nOwned*4:], y.Data)
 	// Identity rows for owned constrained dofs.
@@ -330,7 +393,8 @@ func (op *Operator) rhsLoop(force [][8][3]float64, zeroLift bool) func(w, lo, hi
 // the same worker pool (and with the same deterministic reduction) as
 // Apply.
 func (op *Operator) RHS(force [][8][3]float64) *la.Vec {
-	// Dirichlet lift in slot space: boundary values at constrained dofs.
+	// Dirichlet lift in slot space: boundary values at constrained dofs
+	// (local-frame values at framed slots, rotated forward with the lift).
 	zeroLift := true
 	for i := range op.xbuf {
 		op.xbuf[i] = 0
@@ -341,7 +405,13 @@ func (op *Operator) RHS(force [][8][3]float64) *la.Vec {
 			zeroLift = false
 		}
 	}
+	if !zeroLift {
+		op.rotFwd(op.xbuf)
+	}
 	acc := op.pool.run(op.xbuf, op.rhsLoop(force, zeroLift))
+	// The load (and lift action) was accumulated in Cartesian components;
+	// rotate framed rows into their local frames like the apply does.
+	op.rotBwd(acc)
 	b := la.NewVec(op.layout)
 	copy(b.Data, acc[:op.nOwned*4])
 	op.gx.ScatterAdd(acc[op.nOwned*4:], b.Data)

@@ -145,7 +145,7 @@ func TestQ1ApplyMatchesAssembled(t *testing.T) {
 			eta[i] = 1 + 0.5*math.Sin(float64(i))
 		}
 		bc := q1TestBC(m)
-		op := matfree.New(m, dom, layout, eta, bc, matfree.Options{})
+		op := matfree.New(m, dom, layout, eta, bc, nil, matfree.Options{})
 		A := assembleQ1(m, dom, layout, eta, bc)
 
 		x := la.NewVec(layout)
@@ -337,7 +337,7 @@ func TestApplyAllocFree(t *testing.T) {
 			eta[i] = 1
 		}
 		bc := q1TestBC(m)
-		op := matfree.New(m, dom, layout, eta, bc, matfree.Options{Workers: 1})
+		op := matfree.New(m, dom, layout, eta, bc, nil, matfree.Options{Workers: 1})
 		x, y := la.NewVec(layout), la.NewVec(layout)
 		fillTestVec(x)
 		if n := testing.AllocsPerRun(20, func() { op.Apply(x, y) }); n != 0 {

@@ -62,6 +62,7 @@ func (c Config) Fingerprint() uint64 {
 	w(int64(c.AdaptEvery), c.CFL, int64(c.Picard))
 	w(c.MinresTol, int64(c.MinresMax))
 	w(b(c.MatrixFree), int64(c.Precond), int64(c.Order), b(c.LocalAMG))
+	w(slipCode(c.ShellSlip))
 	if c.Conn != nil {
 		w(int64(c.Conn.NumTrees()), int64(len(c.Conn.Verts)))
 		for _, v := range c.Conn.Verts {
@@ -74,6 +75,19 @@ func (c Config) Fingerprint() uint64 {
 		}
 	}
 	return h.Sum64()
+}
+
+// slipCode maps the ShellSlip preset onto the stable integer stored in
+// the fingerprint: 0 no-slip, 1 free-slip top, 2 free-slip both.
+// withDefaults has already rejected any other value.
+func slipCode(s string) int64 {
+	switch s {
+	case "top":
+		return 1
+	case "both":
+		return 2
+	}
+	return 0
 }
 
 // timings <-> snapshot scalar conversion. Keys are part of the on-disk

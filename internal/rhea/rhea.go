@@ -16,6 +16,7 @@
 package rhea
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -113,11 +114,23 @@ type Config struct {
 	// Shell selects spherical-shell physics on a cubed-sphere forest:
 	// radial gravity Ra*T*r_hat, radius-based depth for the viscosity
 	// law, T=1 on the inner and T=0 on the outer boundary, and no-slip
-	// velocity on both shell boundaries by default (true free-slip needs
-	// rotated per-node boundary frames — a roadmap item). Leaving Conn
-	// nil with Shell set picks the paper's forest.CubedSphere(2).
+	// velocity on both shell boundaries by default (see ShellSlip for
+	// free-slip). Leaving Conn nil with Shell set picks the paper's
+	// forest.CubedSphere(2).
 	Shell          bool
 	RInner, ROuter float64 // shell radii (default 1 and 2)
+	// ShellSlip selects free-slip shell boundaries via rotated per-node
+	// boundary frames (stokes.Options.Slip): "" keeps the no-slip
+	// default, "top" frees the outer surface and keeps no-slip on the
+	// inner one (the community "FS" setup of the Bunge benchmark cases),
+	// "both" frees both boundaries — the rigid-rotation null space is
+	// then projected out of every Stokes solve. Only meaningful with
+	// Shell; part of the checkpoint fingerprint.
+	ShellSlip string
+	// SlipBC supplies an explicit free-slip marker (overrides the
+	// ShellSlip presets; expert use on non-shell mapped domains). Not
+	// fingerprinted — prefer ShellSlip for checkpointed runs.
+	SlipBC stokes.SlipNormal
 
 	BaseLevel   uint8 // initial uniform refinement
 	MinLevel    uint8
@@ -190,9 +203,29 @@ func (c Config) withDefaults() Config {
 		if c.Geom == nil {
 			c.Geom = mesh.ShellGeometry{Conn: c.Conn, RInner: c.RInner, ROuter: c.ROuter}
 		}
-		if c.VelBC == nil {
-			c.VelBC = stokes.RadialNoSlip(c.RInner, c.ROuter)
+		switch c.ShellSlip {
+		case "", "top", "both":
+		default:
+			panic(fmt.Sprintf("rhea: unknown Config.ShellSlip %q (want \"\", \"top\" or \"both\")", c.ShellSlip))
 		}
+		if c.SlipBC == nil && c.ShellSlip != "" {
+			c.SlipBC = stokes.ShellSlipNormals(c.RInner, c.ROuter, c.ShellSlip == "both", true)
+		}
+		if c.VelBC == nil {
+			switch c.ShellSlip {
+			case "top":
+				c.VelBC = stokes.RadialNoSlipInner(c.RInner, c.ROuter)
+			case "both":
+				// Every boundary node is a slip node; the VelBC constrains
+				// nothing and the rotation null space is projected instead.
+				c.VelBC = func([3]float64) ([3]bool, [3]float64) { return [3]bool{}, [3]float64{} }
+			default:
+				c.VelBC = stokes.RadialNoSlip(c.RInner, c.ROuter)
+			}
+		}
+	}
+	if c.ShellSlip != "" && !c.Shell {
+		panic("rhea: Config.ShellSlip needs Shell (use SlipBC for custom mapped domains)")
 	}
 	if c.Conn != nil && c.Geom == nil {
 		c.Geom = mesh.TrilinearGeometry{Conn: c.Conn}
@@ -780,7 +813,7 @@ func (s *Sim) stokesOptions() stokes.Options {
 	return stokes.Options{
 		AMG: s.Cfg.AMG, MatrixFree: s.Cfg.MatrixFree, MatFree: s.Cfg.MatFree,
 		Precond: s.Cfg.Precond, GMG: s.Cfg.GMG, LocalAMG: s.Cfg.LocalAMG,
-		Order: s.Cfg.Order,
+		Order: s.Cfg.Order, Slip: s.Cfg.SlipBC,
 	}
 }
 
@@ -829,6 +862,9 @@ func (s *Sim) SolveStokes() krylov.Result {
 				x.Data[4*i+3] = s.P.Data[i]
 			}
 		}
+		// Free-slip solvers keep local-frame components at slip nodes;
+		// rotate the Cartesian warm start into them (no-op otherwise).
+		s.solver.ToFrame(x)
 		res = s.solver.Solve(x, s.Cfg.MinresTol, s.Cfg.MinresMax)
 		s.Times.MINRES += time.Since(t0).Seconds()
 		u, p := s.solver.SplitSolution(x)

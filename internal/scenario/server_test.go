@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -149,6 +151,137 @@ func TestServerEndToEnd(t *testing.T) {
 	resp.Body.Close()
 	if len(list) != 1 {
 		t.Fatalf("list: %+v", list)
+	}
+}
+
+// waitTerminalHTTP polls GET /scenarios/{id} until the job leaves the
+// queued/running states.
+func waitTerminalHTTP(t *testing.T, srv *httptest.Server, id int) JobView {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(fmt.Sprintf("%s/scenarios/%d", srv.URL, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := decodeView(t, resp)
+		if v.State != StateQueued && v.State != StateRunning {
+			return v
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %d did not reach a terminal state", id)
+	return JobView{}
+}
+
+// getDiags fetches and parses GET /scenarios/{id}/diag.
+func getDiags(t *testing.T, srv *httptest.Server, id int) []CycleDiag {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/scenarios/%d/diag", srv.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out []CycleDiag
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var d CycleDiag
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatalf("bad diag line %q: %v", sc.Text(), err)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// TestServerStopResumeBitwiseTrajectory drives the whole
+// interrupt/resume lifecycle over HTTP — submit, stop, resume twice in
+// two installments — and asserts the stitched-together trajectory is
+// bit-identical to an uninterrupted run of the same spec: same Nu and
+// Vrms float bits, same MINRES iteration counts, same element counts,
+// every cycle. A blocker occupies the single worker so the stop almost
+// always lands while the job is still queued; under load it may slip in
+// a cycle or two later, and the resume installments adapt so the total
+// still comes out to exactly 4 cycles — either way the tail of the
+// trajectory runs under restore.
+func TestServerStopResumeBitwiseTrajectory(t *testing.T) {
+	srv, _ := newTestServer(t)
+	const cycles = 4
+
+	// Job 1: the uninterrupted reference run.
+	resp := postJSON(t, srv.URL+"/scenarios", tinySpec(cycles))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit reference: %s", resp.Status)
+	}
+	ref := decodeView(t, resp)
+	if v := waitTerminalHTTP(t, srv, ref.ID); v.State != StateDone {
+		t.Fatalf("reference job finished %s (%q)", v.State, v.Error)
+	}
+
+	// Job 2 blocks the single worker while job 3 is stopped in the queue.
+	resp = postJSON(t, srv.URL+"/scenarios", tinySpec(1))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit blocker: %s", resp.Status)
+	}
+	blocker := decodeView(t, resp)
+	resp = postJSON(t, srv.URL+"/scenarios", tinySpec(cycles))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit interrupted job: %s", resp.Status)
+	}
+	job := decodeView(t, resp)
+	resp = postJSON(t, srv.URL+fmt.Sprintf("/scenarios/%d/stop", job.ID), map[string]int{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stop: %s", resp.Status)
+	}
+	resp.Body.Close()
+	waitTerminalHTTP(t, srv, blocker.ID)
+	v := waitTerminalHTTP(t, srv, job.ID)
+	if v.State != StateStopped || v.Snapshot == "" {
+		t.Fatalf("stopped job: %+v", v)
+	}
+	// The stop usually lands while the job is still queued (0 cycles),
+	// but under load it may slip in after a cycle or two; either way the
+	// job halted early with a committed snapshot.
+	if v.CyclesDone >= cycles {
+		t.Fatalf("stop request did not interrupt the run: %+v", v)
+	}
+
+	// Resume in two installments; each restores from the latest committed
+	// snapshot and must keep extending the same trajectory.
+	remaining := cycles - v.CyclesDone
+	installments := []int{remaining}
+	if remaining >= 2 {
+		installments = []int{1, remaining - 1}
+	}
+	for _, extra := range installments {
+		resp = postJSON(t, srv.URL+fmt.Sprintf("/scenarios/%d/resume", job.ID), map[string]int{"cycles": extra})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("resume %d: %s", extra, resp.Status)
+		}
+		resp.Body.Close()
+		v = waitTerminalHTTP(t, srv, job.ID)
+		if v.State != StateDone {
+			t.Fatalf("resumed job finished %s (%q)", v.State, v.Error)
+		}
+	}
+	if v.CyclesDone != cycles {
+		t.Fatalf("resumed job completed %d cycles, want %d", v.CyclesDone, cycles)
+	}
+
+	want := getDiags(t, srv, ref.ID)
+	got := getDiags(t, srv, job.ID)
+	if len(want) != cycles || len(got) != cycles {
+		t.Fatalf("diag lengths %d, %d, want %d", len(want), len(got), cycles)
+	}
+	for c := range want {
+		x, y := want[c], got[c]
+		if math.Float64bits(x.Nu) != math.Float64bits(y.Nu) ||
+			math.Float64bits(x.Vrms) != math.Float64bits(y.Vrms) ||
+			math.Float64bits(x.Time) != math.Float64bits(y.Time) ||
+			x.MinresIters != y.MinresIters || x.Elements != y.Elements || x.Step != y.Step {
+			t.Errorf("cycle %d: resumed trajectory diverges from uninterrupted run:\n  straight: %+v\n  resumed:  %+v",
+				c+1, x, y)
+		}
 	}
 }
 

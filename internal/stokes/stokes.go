@@ -77,9 +77,9 @@ func NoSlip(box [3]float64) VelBC {
 // RadialNoSlip fixes all velocity components to zero on the inner and
 // outer boundaries of a spherical shell (radius rin or rout, detected
 // with a relative tolerance — shell geometry places boundary nodes on
-// the exact radii up to rounding). True free-slip on the shell needs
-// rotated per-node boundary frames (the normal is not axis-aligned) and
-// is an open item on the roadmap.
+// the exact radii up to rounding). True free-slip on the shell uses
+// rotated per-node boundary frames instead: see Options.Slip and
+// ShellSlipNormals.
 func RadialNoSlip(rin, rout float64) VelBC {
 	tol := 1e-9 * rout
 	return func(x [3]float64) (fixed [3]bool, vals [3]float64) {
@@ -89,6 +89,88 @@ func RadialNoSlip(rin, rout float64) VelBC {
 		}
 		return
 	}
+}
+
+// RadialNoSlipInner fixes all velocity components to zero on the inner
+// shell boundary only — the no-slip half of the community "FS" setup
+// (free-slip top, no-slip base) whose outer boundary is handled by
+// Options.Slip.
+func RadialNoSlipInner(rin, rout float64) VelBC {
+	tol := 1e-9 * rout
+	return func(x [3]float64) (fixed [3]bool, vals [3]float64) {
+		r := math.Sqrt(x[0]*x[0] + x[1]*x[1] + x[2]*x[2])
+		if math.Abs(r-rin) < tol {
+			return [3]bool{true, true, true}, vals
+		}
+		return
+	}
+}
+
+// SlipNormal marks free-slip boundary nodes: it returns the outward unit
+// normal (up to normalization) at positions on a free-slip boundary and
+// ok = false elsewhere. At a slip node the solver builds an orthonormal
+// (normal, tangent, tangent) frame, conjugates the velocity operator into
+// it and constrains only the normal component — true free-slip on curved
+// boundaries, where the normal is not axis-aligned. Slip takes precedence
+// over VelBC where both apply to a node. The detection must be purely
+// position-based: multigrid levels and rank subsets re-evaluate it on
+// their own meshes and rely on getting identical answers.
+type SlipNormal func(x [3]float64) (n [3]float64, ok bool)
+
+// ShellSlipNormals returns the free-slip marker for a spherical shell:
+// the radial direction at nodes on the inner and/or outer boundary radius
+// (same relative tolerance as RadialNoSlip, so the two compose into
+// mixed free-slip/no-slip shells without overlap surprises).
+func ShellSlipNormals(rin, rout float64, inner, outer bool) SlipNormal {
+	tol := 1e-9 * rout
+	return func(x [3]float64) ([3]float64, bool) {
+		r := math.Sqrt(x[0]*x[0] + x[1]*x[1] + x[2]*x[2])
+		if (outer && math.Abs(r-rout) < tol) || (inner && math.Abs(r-rin) < tol) {
+			return x, true
+		}
+		return [3]float64{}, false
+	}
+}
+
+// frameFor builds the deterministic orthonormal boundary frame for unit
+// normal direction n (not necessarily normalized on input): columns of Q
+// are (n, t1, t2) with t1 the normalized projection of the coordinate
+// axis least aligned with n, and t2 = n x t1. Every rank and multigrid
+// level computes the identical frame from the identical position, which
+// is what keeps the conjugated operators consistent across the stack.
+func frameFor(n [3]float64) [3][3]float64 {
+	nn := math.Sqrt(n[0]*n[0] + n[1]*n[1] + n[2]*n[2])
+	for i := 0; i < 3; i++ {
+		n[i] /= nn
+	}
+	// Pick the axis least aligned with n (deterministic tie-break: lowest
+	// index wins), project it off n and normalize.
+	a := 0
+	if math.Abs(n[1]) < math.Abs(n[a]) {
+		a = 1
+	}
+	if math.Abs(n[2]) < math.Abs(n[a]) {
+		a = 2
+	}
+	var t1 [3]float64
+	t1[a] = 1
+	for i := 0; i < 3; i++ {
+		t1[i] -= n[a] * n[i]
+	}
+	tn := math.Sqrt(t1[0]*t1[0] + t1[1]*t1[1] + t1[2]*t1[2])
+	for i := 0; i < 3; i++ {
+		t1[i] /= tn
+	}
+	t2 := [3]float64{
+		n[1]*t1[2] - n[2]*t1[1],
+		n[2]*t1[0] - n[0]*t1[2],
+		n[0]*t1[1] - n[1]*t1[0],
+	}
+	var Q [3][3]float64
+	for i := 0; i < 3; i++ {
+		Q[i][0], Q[i][1], Q[i][2] = n[i], t1[i], t2[i]
+	}
+	return Q
 }
 
 // Solver is a Stokes problem plus its preconditioner, split into cached
@@ -137,6 +219,22 @@ type Solver struct {
 	velPC    [3]krylov.Operator // multigrid V-cycle per velocity component
 	schurInv *la.Vec            // nodal inverse of S~ diagonal
 	nOwned   int
+
+	// Free-slip (rotated boundary frame) state, set when Options.Slip
+	// marks any boundary node. frames holds the orthonormal (normal,
+	// tangent, tangent) basis per referenced slip node gid; slipOwned the
+	// owned local node indices with a frame. slipDinv carries the inverse
+	// viscosity-scaled scalar stiffness diagonal at those nodes — the
+	// boundary Jacobi rows the velocity preconditioner uses where the
+	// scalar V-cycles see Dirichlet nodes. null holds the orthonormalized
+	// rigid-rotation modes projected out of MINRES when no Cartesian
+	// Dirichlet condition pins the rotations (free-slip on every
+	// boundary); empty otherwise.
+	hasSlip   bool
+	frames    map[int64][3][3]float64
+	slipOwned []int32
+	slipDinv  *la.Vec
+	null      []*la.Vec
 
 	// work vectors for the preconditioner (node layout)
 	xc, yc *la.Vec
@@ -198,6 +296,15 @@ type Options struct {
 	MatrixFree bool
 	// MatFree tunes the matrix-free apply (in-rank worker count).
 	MatFree matfree.Options
+	// Slip marks free-slip boundary nodes and their outward normals. At
+	// each marked node the velocity operator (assembled or matrix-free)
+	// is conjugated into a rotated (normal, tangent, tangent) frame and
+	// only the normal component is constrained; the solution vector holds
+	// local-frame components there (SplitSolution rotates back). When the
+	// slip set leaves the 3 rigid rotations unconstrained (no Cartesian
+	// Dirichlet velocity anywhere), Solve projects them out of the Krylov
+	// space. Not supported with Order == 2.
+	Slip SlipNormal
 	// Order selects the velocity element order: 0 or 1 for the stabilized
 	// equal-order Q1-Q1 pair (default), 2 for Q2-Q1 Taylor-Hood with the
 	// sum-factorized matrix-free apply and the p-coarsened GMG velocity
@@ -219,11 +326,27 @@ func Setup(m *mesh.Mesh, dom fem.Domain, bc VelBC, opts Options) *Solver {
 	if opts.Order < 0 || opts.Order > 2 {
 		panic(fmt.Sprintf("stokes: unsupported element order %d (want 1 or 2)", opts.Order))
 	}
+	if opts.Order == 2 && opts.Slip != nil {
+		panic("stokes: free-slip rotated frames are not supported with Order == 2")
+	}
+	slip := opts.Slip
 	s := &Solver{M: m, Dom: dom, bc: bc, opts: opts, nOwned: m.NumOwned}
 	s.nodeL = m.Layout()
 	for c := 0; c < 3; c++ {
 		c := c
 		s.compBC[c] = func(x [3]float64) (float64, bool) {
+			// Slip nodes look fully Dirichlet to the scalar component
+			// preconditioners: a frame-rotated identity block is still the
+			// identity, so treating all three components as fixed is the
+			// one choice that is invariant under the per-node rotation —
+			// and, being position-based, automatically consistent on every
+			// multigrid level and rank subset. The tangential rows are
+			// preconditioned by the boundary Jacobi overwrite in Precond.
+			if slip != nil {
+				if _, ok := slip(x); ok {
+					return 0, true
+				}
+			}
 			fixed, vals := bc(x)
 			if fixed[c] {
 				return vals[c], true
@@ -239,19 +362,40 @@ func Setup(m *mesh.Mesh, dom fem.Domain, bc VelBC, opts Options) *Solver {
 	}
 	s.Layout = la.NewLayout(m.Rank, 4*m.NumOwned)
 
-	// Gather per-node velocity BC flags and values.
+	// Gather per-node velocity BC flags and values, and the free-slip
+	// mask and normals (slip takes precedence over bc at a node).
 	mask := la.NewVec(s.nodeL)
 	var vv [3]*la.Vec
 	for c := 0; c < 3; c++ {
 		vv[c] = la.NewVec(s.nodeL)
 	}
+	var smask *la.Vec
+	var nv [3]*la.Vec
+	if slip != nil {
+		smask = la.NewVec(s.nodeL)
+		for c := 0; c < 3; c++ {
+			nv[c] = la.NewVec(s.nodeL)
+		}
+	}
+	nFixedCart := 0 // owned velocity dofs pinned in Cartesian components
 	for i := range m.OwnedPos {
-		fixed, vals := bc(fem.NodeCoord(m, dom, i))
+		x := fem.NodeCoord(m, dom, i)
+		if slip != nil {
+			if n, ok := slip(x); ok {
+				smask.Data[i] = 1
+				for c := 0; c < 3; c++ {
+					nv[c].Data[i] = n[c]
+				}
+				continue
+			}
+		}
+		fixed, vals := bc(x)
 		bits := 0.0
 		for c := 0; c < 3; c++ {
 			if fixed[c] {
 				bits += float64(int(1) << c)
 				vv[c].Data[i] = vals[c]
+				nFixedCart++
 			}
 		}
 		mask.Data[i] = bits
@@ -261,13 +405,42 @@ func Setup(m *mesh.Mesh, dom fem.Domain, bc VelBC, opts Options) *Solver {
 	for c := 0; c < 3; c++ {
 		valMap[c] = m.GatherReferenced(vv[c])
 	}
-	// dofBC returns (value, true) if the dof is constrained.
+	if slip != nil {
+		slipMap := m.GatherReferenced(smask)
+		var normMap [3]map[int64]float64
+		for c := 0; c < 3; c++ {
+			normMap[c] = m.GatherReferenced(nv[c])
+		}
+		s.frames = make(map[int64][3][3]float64)
+		for g, v := range slipMap {
+			if v != 0 {
+				s.frames[g] = frameFor([3]float64{normMap[0][g], normMap[1][g], normMap[2][g]})
+			}
+		}
+		// Uniform across ranks even when this rank's partition never
+		// touches a slip boundary: the slip code paths contain collective
+		// calls, so the branch must not depend on local node sets.
+		s.hasSlip = true
+		for i := 0; i < m.NumOwned; i++ {
+			if smask.Data[i] != 0 {
+				s.slipOwned = append(s.slipOwned, int32(i))
+			}
+		}
+	}
+	// dofBC returns (value, true) if the dof is constrained. At slip
+	// nodes the component index is LOCAL: c = 0 is the boundary normal
+	// (constrained to zero), c = 1,2 the free tangentials.
 	s.dofBC = func(g int64, c int) (float64, bool) {
 		if c == 3 {
 			if g == 0 { // pressure pin
 				return 0, true
 			}
 			return 0, false
+		}
+		if s.hasSlip {
+			if _, ok := s.frames[g]; ok {
+				return 0, c == 0
+			}
 		}
 		if int(maskMap[g])>>c&1 == 1 {
 			return valMap[c][g], true
@@ -278,7 +451,14 @@ func Setup(m *mesh.Mesh, dom fem.Domain, bc VelBC, opts Options) *Solver {
 	if opts.MatrixFree {
 		// Slot maps, ghost plans, constraint tables and kernels are all
 		// mesh-dependent; the viscosity is attached by Update.
-		s.MF = matfree.New(m, dom, s.Layout, nil, s.dofBC, opts.MatFree)
+		var frame matfree.Frame
+		if s.hasSlip {
+			frame = func(g int64) ([3][3]float64, bool) {
+				Q, ok := s.frames[g]
+				return Q, ok
+			}
+		}
+		s.MF = matfree.New(m, dom, s.Layout, nil, s.dofBC, frame, opts.MatFree)
 		s.Op = s.MF
 	} else if m.X != nil {
 		// Mapped assembled path: per-element isoparametric unit kernels,
@@ -313,9 +493,76 @@ func Setup(m *mesh.Mesh, dom fem.Domain, bc VelBC, opts Options) *Solver {
 		}
 	}
 
+	if s.hasSlip {
+		s.slipDinv = la.NewVec(s.nodeL)
+		// Rigid rotations are tangent to every sphere, so radial-only
+		// constraints never pin them: if no Cartesian Dirichlet velocity
+		// exists anywhere (free-slip on all boundaries), the 3 rotations
+		// span the operator's null space and must be projected out.
+		if m.Rank.Allreduce(float64(nFixedCart), sim.OpSum) == 0 {
+			s.buildNullSpace()
+		}
+	}
+
 	s.finishSetup()
 	return s
 }
+
+// buildNullSpace constructs the orthonormalized rigid-rotation modes
+// m_k = e_k x x expressed in the solver's frame (local components at
+// slip nodes, zeroed at constrained entries, zero pressure), globally
+// Gram-Schmidt orthonormalized (collective).
+func (s *Solver) buildNullSpace() {
+	m := s.M
+	for k := 0; k < 3; k++ {
+		v := la.NewVec(s.Layout)
+		for i := 0; i < m.NumOwned; i++ {
+			x := fem.NodeCoord(m, s.Dom, i)
+			var r [3]float64
+			switch k {
+			case 0:
+				r = [3]float64{0, -x[2], x[1]}
+			case 1:
+				r = [3]float64{x[2], 0, -x[0]}
+			case 2:
+				r = [3]float64{-x[1], x[0], 0}
+			}
+			g := m.Offset + int64(i)
+			if Q, ok := s.frames[g]; ok {
+				r = [3]float64{
+					Q[0][0]*r[0] + Q[1][0]*r[1] + Q[2][0]*r[2],
+					Q[0][1]*r[0] + Q[1][1]*r[1] + Q[2][1]*r[2],
+					Q[0][2]*r[0] + Q[1][2]*r[1] + Q[2][2]*r[2],
+				}
+			}
+			for c := 0; c < 3; c++ {
+				if _, is := s.dofBC(g, c); is {
+					r[c] = 0
+				}
+			}
+			v.Data[4*i], v.Data[4*i+1], v.Data[4*i+2] = r[0], r[1], r[2]
+		}
+		for _, u := range s.null {
+			v.AXPY(-v.Dot(u), u)
+		}
+		if nrm := v.Norm2(); nrm > 0 {
+			v.Scale(1 / nrm)
+			s.null = append(s.null, v)
+		}
+	}
+}
+
+// projectNull removes the rigid-rotation null-space components from v in
+// place (collective; no-op when the null space is empty).
+func (s *Solver) projectNull(v *la.Vec) {
+	for _, u := range s.null {
+		v.AXPY(-v.Dot(u), u)
+	}
+}
+
+// NullDim reports the dimension of the projected-out velocity null space
+// (3 for an all-free-slip shell, 0 otherwise).
+func (s *Solver) NullDim() int { return len(s.null) }
 
 // finishSetup builds the order-independent tail of Setup: the Schur
 // diagonal's slot-space lumped-mass plan (always on the Q1 vertex
@@ -407,8 +654,45 @@ func (s *Solver) Update(etaElem []float64, force [][8][3]float64) *Solver {
 		}
 	}
 
+	if s.hasSlip {
+		s.refreshSlipDiag(etaElem)
+	}
 	s.updateSchur(etaElem)
 	return s
+}
+
+// refreshSlipDiag rebuilds the boundary Jacobi rows of the velocity
+// preconditioner at free-slip nodes from the raw (unconstrained)
+// viscosity-scaled scalar stiffness diagonal — the component V-cycles
+// treat slip nodes as Dirichlet, so their tangential rows need an
+// explicit SPD stand-in, and a Jacobi row in the rotated frame equals a
+// Jacobi row in Cartesian components (the scalar diagonal is isotropic
+// per node). Collective on the AMG path; on the GMG path the hierarchy's
+// post-Rebuild diagonal cache is reused.
+func (s *Solver) refreshSlipDiag(etaElem []float64) {
+	var d *la.Vec
+	if s.GMGH != nil {
+		d = s.GMGH.FineDiag()
+	} else {
+		elemMat := func(ei int, h [3]float64) [8][8]float64 {
+			K := *s.scalKern[ei]
+			eta := etaElem[ei]
+			for a := 0; a < 8; a++ {
+				for b := 0; b < 8; b++ {
+					K[a][b] *= eta
+				}
+			}
+			return K
+		}
+		d = fem.AssembleScalarDiag(s.M, s.Dom, elemMat, &fem.BCData{})
+	}
+	for _, i := range s.slipOwned {
+		if v := d.Data[i]; v > 0 {
+			s.slipDinv.Data[i] = 1 / v
+		} else {
+			s.slipDinv.Data[i] = 1
+		}
+	}
 }
 
 // updateSchur refreshes S~, the inverse-viscosity-weighted lumped
@@ -437,6 +721,13 @@ func (s *Solver) updateSchur(etaElem []float64) {
 // is mesh-dependent, but la.Mat freezes it at Assemble time, so the CSR
 // is rebuilt per Update; the cached Dirichlet maps are reused.
 func (s *Solver) assembleCoupled(etaElem []float64, force [][8][3]float64) {
+	if s.hasSlip {
+		// The rotated-frame assembly below necessarily visits entries in
+		// a different order; keep the historical loop bit-for-bit when no
+		// slip boundary is configured.
+		s.assembleCoupledSlip(etaElem, force)
+		return
+	}
 	m, dom := s.M, s.Dom
 	dofBC := s.dofBC
 	A := la.NewMat(s.Layout)
@@ -579,6 +870,213 @@ func (s *Solver) assembleCoupled(etaElem []float64, force [][8][3]float64) {
 	s.Op = A
 }
 
+// matTVec returns Q^T v (Cartesian -> local components).
+func matTVec(Q *[3][3]float64, v [3]float64) [3]float64 {
+	return [3]float64{
+		Q[0][0]*v[0] + Q[1][0]*v[1] + Q[2][0]*v[2],
+		Q[0][1]*v[0] + Q[1][1]*v[1] + Q[2][1]*v[2],
+		Q[0][2]*v[0] + Q[1][2]*v[1] + Q[2][2]*v[2],
+	}
+}
+
+// vecMat returns v^T Q, the row vector v with its columns rotated into
+// the local frame of the column node.
+func vecMat(v [3]float64, Q *[3][3]float64) [3]float64 {
+	return [3]float64{
+		v[0]*Q[0][0] + v[1]*Q[1][0] + v[2]*Q[2][0],
+		v[0]*Q[0][1] + v[1]*Q[1][1] + v[2]*Q[2][1],
+		v[0]*Q[0][2] + v[1]*Q[1][2] + v[2]*Q[2][2],
+	}
+}
+
+// rotBlock conjugates the 3x3 Cartesian coupling block V into the row
+// node's and column node's local frames: Qa^T V Qb (each rotation only
+// where the node actually carries a frame).
+func rotBlock(Qa *[3][3]float64, aRot bool, V [3][3]float64, Qb *[3][3]float64, bRot bool) [3][3]float64 {
+	if aRot {
+		var W [3][3]float64
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				W[i][j] = Qa[0][i]*V[0][j] + Qa[1][i]*V[1][j] + Qa[2][i]*V[2][j]
+			}
+		}
+		V = W
+	}
+	if bRot {
+		var W [3][3]float64
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				W[i][j] = V[i][0]*Qb[0][j] + V[i][1]*Qb[1][j] + V[i][2]*Qb[2][j]
+			}
+		}
+		V = W
+	}
+	return V
+}
+
+// assembleCoupledSlip is assembleCoupled with rotated boundary frames:
+// every velocity coupling block is conjugated Qa^T V Qb into the local
+// frames of its row and column master nodes, grad-p columns and
+// divergence rows are rotated on their velocity side, and the body-force
+// load lands in the row node's local frame — after which the plain
+// local-index Dirichlet elimination of the Cartesian path constrains
+// exactly the boundary-normal components.
+func (s *Solver) assembleCoupledSlip(etaElem []float64, force [][8][3]float64) {
+	m, dom := s.M, s.Dom
+	dofBC := s.dofBC
+	A := la.NewMat(s.Layout)
+	bb := la.NewVecBuilder(s.Layout)
+
+	for ei, leaf := range m.Leaves {
+		eta := etaElem[ei]
+		var Av [24][24]float64
+		var Bd [8][24]float64
+		var Cs, M8 [8][8]float64
+		if s.stokesKern != nil {
+			k := s.stokesKern[ei]
+			Av, Bd, M8 = k.Av, k.Bd, k.M8
+			inv := 1 / eta
+			for a := 0; a < 24; a++ {
+				for b := 0; b < 24; b++ {
+					Av[a][b] *= eta
+				}
+			}
+			for a := 0; a < 8; a++ {
+				for b := 0; b < 8; b++ {
+					Cs[a][b] = inv * k.Cs[a][b]
+				}
+			}
+		} else {
+			h := dom.ElemSize(leaf)
+			Av = fem.ViscousBrick(h, eta)
+			Bd = fem.DivergenceBrick(h)
+			Cs = fem.StabilizationBrick(h, eta)
+			M8 = fem.MassBrick(h, 1)
+		}
+		cs := &m.Corners[ei]
+
+		var F [8][3]float64
+		if force != nil {
+			for a := 0; a < 8; a++ {
+				for b := 0; b < 8; b++ {
+					for i := 0; i < 3; i++ {
+						F[a][i] += M8[a][b] * force[ei][b][i]
+					}
+				}
+			}
+		}
+
+		for a := 0; a < 8; a++ {
+			for ia := 0; ia < int(cs[a].N); ia++ {
+				ga, wa := cs[a].GID[ia], cs[a].W[ia]
+				Qa, aRot := s.frames[ga]
+				fa := F[a]
+				if aRot {
+					fa = matTVec(&Qa, fa)
+				}
+				var rowOK [3]bool
+				for i := 0; i < 3; i++ {
+					if _, is := dofBC(ga, i); !is {
+						rowOK[i] = true
+						bb.Add(4*ga+int64(i), wa*fa[i])
+					}
+				}
+				_, pFixed := dofBC(ga, 3)
+				for b := 0; b < 8; b++ {
+					for ib := 0; ib < int(cs[b].N); ib++ {
+						gb, wb := cs[b].GID[ib], cs[b].W[ib]
+						w := wa * wb
+						Qb, bRot := s.frames[gb]
+						var V [3][3]float64
+						for i := 0; i < 3; i++ {
+							for j := 0; j < 3; j++ {
+								V[i][j] = Av[3*a+i][3*b+j]
+							}
+						}
+						if aRot || bRot {
+							V = rotBlock(&Qa, aRot, V, &Qb, bRot)
+						}
+						G := [3]float64{Bd[b][3*a], Bd[b][3*a+1], Bd[b][3*a+2]}
+						if aRot {
+							G = matTVec(&Qa, G)
+						}
+						D := [3]float64{Bd[a][3*b], Bd[a][3*b+1], Bd[a][3*b+2]}
+						if bRot {
+							D = vecMat(D, &Qb)
+						}
+						for i := 0; i < 3; i++ {
+							if !rowOK[i] {
+								continue
+							}
+							row := 4*ga + int64(i)
+							for j := 0; j < 3; j++ {
+								v := w * V[i][j]
+								if v == 0 {
+									continue
+								}
+								if bv, is := dofBC(gb, j); is {
+									bb.Add(row, -v*bv)
+								} else {
+									A.AddValue(row, 4*gb+int64(j), v)
+								}
+							}
+							if v := w * G[i]; v != 0 {
+								if bv, is := dofBC(gb, 3); is {
+									bb.Add(row, -v*bv)
+								} else {
+									A.AddValue(row, 4*gb+3, v)
+								}
+							}
+						}
+						if !pFixed {
+							prow := 4*ga + 3
+							for j := 0; j < 3; j++ {
+								v := w * D[j]
+								if v == 0 {
+									continue
+								}
+								if bv, is := dofBC(gb, j); is {
+									bb.Add(prow, -v*bv)
+								} else {
+									A.AddValue(prow, 4*gb+int64(j), v)
+								}
+							}
+							if v := -w * Cs[a][b]; v != 0 {
+								if bv, is := dofBC(gb, 3); is {
+									bb.Add(prow, -v*bv)
+								} else {
+									A.AddValue(prow, 4*gb+3, v)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	// Identity rows for constrained dofs owned here.
+	for i := 0; i < m.NumOwned; i++ {
+		g := m.Offset + int64(i)
+		for c := 0; c < 4; c++ {
+			if _, is := dofBC(g, c); is {
+				A.AddValue(4*g+int64(c), 4*g+int64(c), 1)
+			}
+		}
+	}
+	A.Assemble()
+	b := bb.Finalize()
+	for i := 0; i < m.NumOwned; i++ {
+		g := m.Offset + int64(i)
+		for c := 0; c < 4; c++ {
+			if v, is := dofBC(g, c); is {
+				b.Data[4*i+c] = v
+			}
+		}
+	}
+	s.A, s.B = A, b
+	s.Op = A
+}
+
 // NodeSlots returns the solver's block-1 node slot map (owned nodes
 // first, then ghosts, with one reusable exchange plan). Application
 // loops that sample nodal fields at element corners between solves can
@@ -645,6 +1143,23 @@ func (s *Solver) Precond() krylov.Operator {
 				y.Data[4*i+c] = s.yc.Data[i]
 			}
 		}
+		// Free-slip tangential rows: the component V-cycles treated slip
+		// nodes as Dirichlet (identity pass-through), which would leave
+		// the unconstrained tangential dofs effectively unpreconditioned
+		// and iteration counts growing with refinement. Overwrite them
+		// with viscosity-scaled boundary Jacobi rows; the constrained
+		// normal row (local component 0) keeps the identity, like every
+		// other Dirichlet row. The result stays SPD: the V-cycle output
+		// at interior nodes is independent of its slip-node inputs (it
+		// zeroes them on entry), so the modified operator is block
+		// diagonal across the interior/boundary split.
+		if s.hasSlip {
+			for _, i := range s.slipOwned {
+				d := s.slipDinv.Data[i]
+				y.Data[4*int(i)+1] = d * x.Data[4*int(i)+1]
+				y.Data[4*int(i)+2] = d * x.Data[4*int(i)+2]
+			}
+		}
 		// Pressure: diagonal Schur approximation.
 		for i := 0; i < n; i++ {
 			y.Data[4*i+3] = s.schurInv.Data[i] * x.Data[4*i+3]
@@ -653,9 +1168,29 @@ func (s *Solver) Precond() krylov.Operator {
 }
 
 // Solve runs preconditioned MINRES from the initial guess in x, using
-// the assembled or matrix-free operator per Options.MatrixFree.
+// the assembled or matrix-free operator per Options.MatrixFree. When the
+// free-slip configuration leaves the rigid rotations unconstrained, the
+// iteration runs on the orthogonal complement of the 3 rotation modes:
+// right-hand side, initial guess, operator and preconditioner outputs
+// are all projected, so MINRES never sees (or stagnates on) the null
+// space and the returned solution carries no net rotation.
 func (s *Solver) Solve(x *la.Vec, rtol float64, maxIt int) krylov.Result {
-	return krylov.MINRES(s.Op, s.Precond(), s.B, x, rtol, maxIt)
+	op, pc, b := s.Op, s.Precond(), s.B
+	if len(s.null) > 0 {
+		b = b.Clone()
+		s.projectNull(b)
+		s.projectNull(x)
+		innerOp, innerPC := op, pc
+		op = krylov.OpFunc(func(in, out *la.Vec) {
+			innerOp.Apply(in, out)
+			s.projectNull(out)
+		})
+		pc = krylov.OpFunc(func(in, out *la.Vec) {
+			innerPC.Apply(in, out)
+			s.projectNull(out)
+		})
+	}
+	return krylov.MINRES(op, pc, b, x, rtol, maxIt)
 }
 
 // SplitSolution extracts nodal velocity components and pressure from the
@@ -685,11 +1220,43 @@ func (s *Solver) SplitSolution(x *la.Vec) (u [3]*la.Vec, p *la.Vec) {
 			u[c].Data[i] = x.Data[4*i+c]
 		}
 	}
+	// Free-slip nodes hold local-frame components in the solution vector;
+	// rotate them back to Cartesian (u = Q v_local) for the advection,
+	// diagnostic and output layers.
+	if s.hasSlip {
+		for _, li := range s.slipOwned {
+			i := int(li)
+			Q := s.frames[s.M.Offset+int64(i)]
+			v0, v1, v2 := x.Data[4*i], x.Data[4*i+1], x.Data[4*i+2]
+			u[0].Data[i] = Q[0][0]*v0 + Q[0][1]*v1 + Q[0][2]*v2
+			u[1].Data[i] = Q[1][0]*v0 + Q[1][1]*v1 + Q[1][2]*v2
+			u[2].Data[i] = Q[2][0]*v0 + Q[2][1]*v1 + Q[2][2]*v2
+		}
+	}
 	p = la.NewVec(nodeL)
 	for i := 0; i < s.nOwned; i++ {
 		p.Data[i] = x.Data[4*i+3]
 	}
 	return
+}
+
+// ToFrame rotates the velocity entries of the interleaved dof vector x
+// from Cartesian into the solver's local frames at free-slip nodes
+// (v_local = Q^T u) in place — the inverse of SplitSolution's rotation.
+// Warm starts built from nodal Cartesian fields must pass through it
+// before Solve; without slip boundaries it is a no-op.
+func (s *Solver) ToFrame(x *la.Vec) {
+	if !s.hasSlip {
+		return
+	}
+	for _, li := range s.slipOwned {
+		i := int(li)
+		Q := s.frames[s.M.Offset+int64(i)]
+		u0, u1, u2 := x.Data[4*i], x.Data[4*i+1], x.Data[4*i+2]
+		x.Data[4*i] = Q[0][0]*u0 + Q[1][0]*u1 + Q[2][0]*u2
+		x.Data[4*i+1] = Q[0][1]*u0 + Q[1][1]*u1 + Q[2][1]*u2
+		x.Data[4*i+2] = Q[0][2]*u0 + Q[1][2]*u1 + Q[2][2]*u2
+	}
 }
 
 // DivergenceNorm returns the global L2 norm of the discrete divergence
