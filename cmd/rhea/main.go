@@ -9,7 +9,9 @@
 // continues the exact trajectory of the uninterrupted run (pass the same
 // scenario flags as the writing run — the snapshot's manifest is checked
 // against the flags before the run starts, so a -ranks/-shell/-order/...
-// mismatch is a clear startup error, not a late panic).
+// mismatch is a clear startup error, not a late panic). -keep N prunes
+// superseded snapshots after each checkpoint, keeping the newest N
+// committed ones (the default 0 keeps everything).
 //
 // With -case NAME the scenario flags are ignored and the named entry of
 // the benchmark registry (internal/bench: box, shell, bunge1..bunge4)
@@ -50,6 +52,7 @@ func main() {
 	order := flag.Int("order", 1, "velocity element order: 1 for the stabilized equal-order Q1-Q1 pair, 2 for the Taylor-Hood Q2-Q1 pair (requires -matfree -precond gmg; runs on a uniform mesh at -base, no AMR)")
 	slip := flag.String("slip", "", "free-slip shell boundaries: top (free outer surface) or both (requires -shell)")
 	ckptDir := flag.String("checkpoint", "", "write a committed snapshot under this directory after every cycle")
+	keep := flag.Int("keep", 0, "prune superseded snapshots after each checkpoint, keeping the newest N committed (0 = keep all; requires -checkpoint)")
 	restore := flag.String("restore", "", "resume from this committed snapshot instead of starting fresh")
 	caseName := flag.String("case", "", "run this benchmark-registry case ("+strings.Join(bench.Names(), ", ")+") instead of the flag-built scenario")
 	flag.Parse()
@@ -93,6 +96,14 @@ func main() {
 	}
 	if *slip != "" && !*shell {
 		fmt.Println("-slip needs -shell (free-slip frames apply to the shell boundaries)")
+		os.Exit(2)
+	}
+	if *keep < 0 {
+		fmt.Println("-keep wants a positive snapshot count (or 0 to keep all)")
+		os.Exit(2)
+	}
+	if *keep > 0 && *ckptDir == "" {
+		fmt.Println("-keep prunes checkpoint snapshots and needs -checkpoint")
 		os.Exit(2)
 	}
 
@@ -244,6 +255,16 @@ func main() {
 				}
 				if r.ID() == 0 {
 					fmt.Printf("checkpoint: %s\n", snap)
+					if *keep > 0 {
+						// Best-effort prune: the GC only ever removes committed
+						// snapshots older than the newest *keep, never the one
+						// just written and never an in-flight directory.
+						if removed, err := ckpt.GC(*ckptDir, *keep); err != nil {
+							fmt.Fprintf(os.Stderr, "snapshot gc: %v\n", err)
+						} else if len(removed) > 0 {
+							fmt.Printf("pruned %d superseded snapshot(s)\n", len(removed))
+						}
+					}
 				}
 			}
 		}

@@ -18,9 +18,15 @@
 //	POST /scenarios/{id}/stop
 //
 // A submitted scenario keeps its latest committed checkpoint under the
-// data directory; stopping the server (SIGINT/SIGTERM) finishes running
-// cycles gracefully, and resumed scenarios continue the exact trajectory
-// of an uninterrupted run.
+// data directory; stopping the server (SIGINT/SIGTERM) halts running
+// jobs at their next cycle boundary with a committed snapshot, and
+// resumed scenarios continue the exact trajectory of an uninterrupted
+// run. Job metadata is journaled to <data>/jobs.jsonl: on restart (even
+// after a crash or kill -9) every job reappears with its state, cycle
+// count and latest snapshot — still-queued jobs requeue automatically,
+// and jobs that were mid-run come back "interrupted", resumable via
+// POST /scenarios/{id}/resume. Runs that die from a rank failure retry
+// automatically from their latest committed checkpoint.
 package main
 
 import (
@@ -43,7 +49,19 @@ func main() {
 	workers := flag.Int("workers", 2, "concurrent scenario workers")
 	flag.Parse()
 
-	m := scenario.NewManager(*data, *workers)
+	m, err := scenario.NewManager(*data, *workers)
+	if err != nil {
+		log.Fatalf("rheaserv: %v", err)
+	}
+	if jobs := m.List(); len(jobs) > 0 {
+		requeued := 0
+		for _, v := range jobs {
+			if v.State == scenario.StateQueued {
+				requeued++
+			}
+		}
+		log.Printf("rheaserv: restored %d jobs from the journal (%d requeued)", len(jobs), requeued)
+	}
 	srv := &http.Server{Addr: *addr, Handler: scenario.NewHandler(m)}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -60,13 +78,9 @@ func main() {
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("rheaserv: %v", err)
 	}
-	// Signal queued/running jobs to halt at their next cycle boundary
-	// (each writes a resumable snapshot), then wait for the pool.
-	for _, v := range m.List() {
-		if v.State == scenario.StateQueued || v.State == scenario.StateRunning {
-			m.Stop(v.ID)
-		}
-	}
+	// Close signals every active job to halt at its next cycle boundary
+	// (each writes a committed snapshot and lands in a resumable,
+	// journaled state), drains the pool, and seals the journal.
 	m.Close()
 	log.Print("rheaserv: all workers drained")
 }

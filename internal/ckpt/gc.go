@@ -1,0 +1,82 @@
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// GC removes superseded snapshot directories under parent, keeping the
+// `keep` most recent committed snapshots (by manifest step, directory
+// name as tiebreak). The newest committed snapshot is never deleted —
+// keep is clamped to at least 1 — and directories without a committed
+// manifest are left alone entirely: one of them may be a checkpoint
+// currently being written, and deleting it would race the writer.
+// Returns the paths removed. Local and non-collective; call it from a
+// single goroutine (e.g. rank 0 after a commit, or the retry loop
+// between runs).
+func GC(parent string, keep int) ([]string, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	entries, err := os.ReadDir(parent)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("ckpt: gc: %w", err)
+	}
+	type snap struct {
+		path string
+		name string
+		step int64
+	}
+	var committed []snap
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(parent, e.Name())
+		m, err := readManifestAny(dir)
+		if err != nil {
+			continue // uncommitted, foreign, or in-flight: not ours to touch
+		}
+		committed = append(committed, snap{path: dir, name: e.Name(), step: m.Step})
+	}
+	sort.Slice(committed, func(i, j int) bool {
+		if committed[i].step != committed[j].step {
+			return committed[i].step > committed[j].step
+		}
+		return committed[i].name > committed[j].name
+	})
+	var removed []string
+	for _, s := range committed[min(keep, len(committed)):] {
+		if err := os.RemoveAll(s.path); err != nil {
+			return removed, fmt.Errorf("ckpt: gc: %w", err)
+		}
+		removed = append(removed, s.path)
+	}
+	return removed, nil
+}
+
+// ReadShardLocal loads one rank's shard from a committed snapshot
+// without any collective participation: manifest validation, then the
+// shard's size/CRC/header checks, exactly as the collective Read does
+// for the calling rank. Intended for out-of-band inspection (tests
+// comparing per-rank bit patterns, tooling) — restore paths inside a
+// run must keep using Read so failures stay collective.
+func ReadShardLocal(dir string, rank int) (*State, error) {
+	m, err := readManifestAny(dir)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	if rank < 0 || rank >= len(m.Shards) {
+		return nil, fmt.Errorf("ckpt: shard %d outside snapshot of %d ranks", rank, len(m.Shards))
+	}
+	st, err := readShard(dir, m, rank)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	return st, nil
+}

@@ -7,11 +7,23 @@
 // streaming. Resuming goes through rhea.Restore, so a resumed job
 // continues the exact trajectory of an uninterrupted one — same Adapt
 // decisions, bit-identical Nusselt numbers.
+//
+// The service is durable and self-healing. Every job mutation is
+// appended to a JSON-lines journal under the manager root and replayed
+// by NewManager, so queued and terminal jobs (with their cycle counts
+// and latest snapshots) survive server restarts; jobs that were mid-run
+// when the process died come back in the resumable "interrupted" state.
+// A run whose communicator aborts — a rank failure, injected or real —
+// is retried automatically from its latest committed snapshot with
+// bounded exponential backoff, and a per-cycle watchdog aborts runs
+// that stop making progress. Superseded snapshots are pruned after each
+// commit so retry loops don't grow disk without bound.
 package scenario
 
 import (
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -19,20 +31,30 @@ import (
 
 	"rhea/internal/fem"
 	"rhea/internal/rhea"
-	"rhea/internal/sim"
 	"rhea/internal/stokes"
 )
 
 // ErrNotFound reports a job id that was never issued.
 var ErrNotFound = errors.New("scenario: job not found")
 
-// Job lifecycle states.
+// Job lifecycle states. Queued and running are active; everything else
+// is terminal. Interrupted marks a job that was running when the server
+// died — its journaled snapshot makes it resumable via Resume.
 const (
-	StateQueued  = "queued"
-	StateRunning = "running"
-	StateDone    = "done"
-	StateStopped = "stopped"
-	StateFailed  = "failed"
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateStopped     = "stopped"
+	StateFailed      = "failed"
+	StateInterrupted = "interrupted"
+)
+
+// Recovery defaults; a Spec's zero value picks these.
+const (
+	defaultMaxRetries    = 2
+	defaultWatchdog      = 300 * time.Second
+	defaultKeepSnapshots = 3
+	defaultDiagWindow    = 100000
 )
 
 // Spec describes one convection scenario over the wire. Zero values
@@ -62,6 +84,32 @@ type Spec struct {
 	// CheckpointEvery writes a committed snapshot every N completed
 	// cycles (0: only at the end of the run and on stop).
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+
+	// MaxRetries bounds automatic recovery: a run that dies from a rank
+	// failure is retried from the latest committed snapshot with
+	// exponential backoff. 0 picks the default (2); -1 disables retries.
+	MaxRetries int `json:"max_retries,omitempty"`
+
+	// WatchdogSec aborts the run's communicator when rank 0 completes no
+	// cycle (and no restore) for this many seconds, turning a silent hang
+	// into a retryable failure. 0 picks the default (300); -1 disables.
+	WatchdogSec float64 `json:"watchdog_sec,omitempty"`
+
+	// KeepSnapshots prunes superseded per-cycle snapshot directories
+	// after each commit, keeping the newest N (the latest committed
+	// snapshot is never removed). 0 picks the default (3); -1 keeps all.
+	KeepSnapshots int `json:"keep_snapshots,omitempty"`
+
+	// Fault injection for chaos drills: world rank FaultRank is killed
+	// once — at the start of cycle FaultCycle (1-based), or at the
+	// rank's FaultCollective-th collective operation (FaultHang parks it
+	// there instead, so only the watchdog can free the run). The fault
+	// arms at most once per job, so the automatic retry that follows
+	// exercises real recovery.
+	FaultRank       int  `json:"fault_rank,omitempty"`
+	FaultCycle      int  `json:"fault_cycle,omitempty"`
+	FaultCollective int  `json:"fault_collective,omitempty"`
+	FaultHang       bool `json:"fault_hang,omitempty"`
 }
 
 // maxRanks bounds the simulated communicator size a request may ask
@@ -85,10 +133,59 @@ func (sp *Spec) normalize() error {
 	if sp.CheckpointEvery < 0 {
 		return fmt.Errorf("scenario: checkpoint_every %d must be non-negative", sp.CheckpointEvery)
 	}
-	if sp.MinLevel > sp.MaxLevel || sp.BaseLevel > sp.MaxLevel && sp.MaxLevel != 0 {
-		return fmt.Errorf("scenario: inconsistent levels base=%d min=%d max=%d", sp.BaseLevel, sp.MinLevel, sp.MaxLevel)
+	if sp.BaseLevel < 0 || sp.MinLevel < 0 || sp.MaxLevel < 0 {
+		return fmt.Errorf("scenario: negative refinement level (base=%d min=%d max=%d)", sp.BaseLevel, sp.MinLevel, sp.MaxLevel)
+	}
+	// Validate the levels the run will actually use: unset fields take
+	// the per-kind defaults (see Config), so a spec like {min_level: 2}
+	// is checked against the default max, not against literal zero.
+	base, lo, hi := sp.effLevels()
+	if lo > hi || base > hi {
+		return fmt.Errorf("scenario: inconsistent levels base=%d min=%d max=%d (after per-kind defaults)", base, lo, hi)
+	}
+	if sp.MaxRetries < -1 {
+		return fmt.Errorf("scenario: max_retries %d (use -1 to disable retries)", sp.MaxRetries)
+	}
+	if sp.WatchdogSec < 0 && sp.WatchdogSec != -1 {
+		return fmt.Errorf("scenario: watchdog_sec %v (use -1 to disable the watchdog)", sp.WatchdogSec)
+	}
+	if sp.KeepSnapshots < -1 {
+		return fmt.Errorf("scenario: keep_snapshots %d (use -1 to keep all snapshots)", sp.KeepSnapshots)
+	}
+	if sp.FaultCycle < 0 || sp.FaultCollective < 0 {
+		return fmt.Errorf("scenario: negative fault point")
+	}
+	if sp.FaultCycle > 0 && sp.FaultCollective > 0 {
+		return fmt.Errorf("scenario: fault_cycle and fault_collective are mutually exclusive")
+	}
+	if sp.FaultHang && sp.FaultCollective == 0 {
+		return fmt.Errorf("scenario: fault_hang requires fault_collective")
+	}
+	if sp.FaultCycle > 0 || sp.FaultCollective > 0 {
+		if sp.FaultRank < 0 || sp.FaultRank >= sp.Ranks {
+			return fmt.Errorf("scenario: fault_rank %d outside [0, %d)", sp.FaultRank, sp.Ranks)
+		}
 	}
 	return nil
+}
+
+// effLevels returns the refinement levels a run of this spec will use:
+// the per-kind defaults with any explicitly set fields applied on top.
+func (sp *Spec) effLevels() (base, lo, hi int) {
+	base, lo, hi = 2, 1, 3
+	if sp.Kind == "shell" {
+		base = 1
+	}
+	if sp.BaseLevel != 0 {
+		base = sp.BaseLevel
+	}
+	if sp.MinLevel != 0 {
+		lo = sp.MinLevel
+	}
+	if sp.MaxLevel != 0 {
+		hi = sp.MaxLevel
+	}
+	return base, lo, hi
 }
 
 // Config translates the spec into a rhea.Config with the pinned
@@ -173,6 +270,7 @@ type JobView struct {
 	Error        string `json:"error,omitempty"`
 	CyclesDone   int    `json:"cycles_done"`
 	TargetCycles int    `json:"target_cycles"`
+	Retries      int    `json:"retries,omitempty"`  // automatic recovery attempts
 	Snapshot     string `json:"snapshot,omitempty"` // latest committed checkpoint
 }
 
@@ -183,30 +281,77 @@ type job struct {
 	err        string
 	cyclesDone int
 	target     int
+	retries    int
 	snapshot   string
 	resumeFrom string // set while queued for a resume
 	diags      []CycleDiag
+	diagBase   int // cycles dropped from the front of diags (retention window)
 	stop       atomic.Bool
+	faultArmed atomic.Bool // the spec's injected fault fires at most once
+	lastBeat   atomic.Int64
 }
 
-// Manager owns the job table, the queue and the worker pool. All
-// methods are safe for concurrent use.
+// Manager owns the job table, the queue, the worker pool and the
+// durable journal. All methods are safe for concurrent use.
 type Manager struct {
-	root   string
-	mu     sync.Mutex
-	jobs   []*job
-	queue  chan *job
-	wg     sync.WaitGroup
-	closed bool
+	root       string
+	diagWindow int           // per-job in-memory diag retention (cycles)
+	retryBase  time.Duration // first retry backoff; doubles per attempt
+	mu         sync.Mutex
+	jf         *os.File // append handle on the journal; nil after Close
+	jobs       []*job
+	queue      chan *job
+	wg         sync.WaitGroup
+	closed     bool
 }
 
 // NewManager starts workers goroutines draining a job queue.
-// Checkpoints are written under root.
-func NewManager(root string, workers int) *Manager {
+// Checkpoints and the job journal live under root. An existing journal
+// is replayed first: terminal jobs come back as queryable history,
+// still-queued jobs are re-enqueued (resuming from their latest
+// snapshot where one was committed), and jobs that were running when
+// the previous process died are demoted to the resumable interrupted
+// state.
+func NewManager(root string, workers int) (*Manager, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	m := &Manager{root: root, queue: make(chan *job, 1024)}
+	m := &Manager{
+		root:       root,
+		diagWindow: defaultDiagWindow,
+		retryBase:  250 * time.Millisecond,
+		queue:      make(chan *job, 1024),
+	}
+	if err := os.MkdirAll(root, 0o777); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := m.replayJournal(); err != nil {
+		return nil, err
+	}
+	jf, err := os.OpenFile(m.journalPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: opening journal: %w", err)
+	}
+	m.jf = jf
+	for _, j := range m.jobs {
+		switch j.state {
+		case StateRunning:
+			j.state = StateInterrupted
+			j.err = "interrupted by server restart"
+			m.logLocked(jrec{Op: opState, ID: j.id, State: j.state, Err: j.err})
+		case StateQueued:
+			if j.snapshot != "" {
+				j.resumeFrom = j.snapshot
+			}
+			select {
+			case m.queue <- j:
+			default:
+				j.state = StateInterrupted
+				j.err = "job queue full on restart"
+				m.logLocked(jrec{Op: opState, ID: j.id, State: j.state, Err: j.err})
+			}
+		}
+	}
 	m.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
@@ -216,19 +361,30 @@ func NewManager(root string, workers int) *Manager {
 			}
 		}()
 	}
-	return m
+	return m, nil
 }
 
-// Close stops accepting work, drains the queue and waits for running
-// jobs to finish their current run.
+// Close stops accepting work and shuts the pool down gracefully: every
+// active job is asked to halt at its next cycle boundary (writing a
+// committed snapshot first, so it lands in a resumable journaled
+// state), the queue is drained, and the journal handle is closed.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if !m.closed {
 		m.closed = true
+		for _, j := range m.jobs {
+			j.stop.Store(true)
+		}
 		close(m.queue)
 	}
 	m.mu.Unlock()
 	m.wg.Wait()
+	m.mu.Lock()
+	if m.jf != nil {
+		m.jf.Close()
+		m.jf = nil
+	}
+	m.mu.Unlock()
 }
 
 // Submit validates sp, queues a new job and returns its view.
@@ -248,11 +404,14 @@ func (m *Manager) Submit(sp Spec) (JobView, error) {
 		return JobView{}, fmt.Errorf("scenario: job queue is full")
 	}
 	m.jobs = append(m.jobs, j)
+	m.logLocked(jrec{Op: opSubmit, ID: j.id, Spec: &j.spec, Target: j.target})
 	return m.viewLocked(j), nil
 }
 
 // Resume requeues a terminal job for extra more cycles, restoring from
-// its latest committed snapshot.
+// its latest committed snapshot (or from scratch, for a job
+// interrupted before its first commit — determinism makes the rerun
+// continue the identical trajectory).
 func (m *Manager) Resume(id, extra int) (JobView, error) {
 	if extra < 1 {
 		return JobView{}, fmt.Errorf("scenario: resume needs a positive cycle count")
@@ -269,9 +428,10 @@ func (m *Manager) Resume(id, extra int) (JobView, error) {
 	if j.state == StateQueued || j.state == StateRunning {
 		return JobView{}, fmt.Errorf("scenario: job %d is %s; only terminal jobs can be resumed", id, j.state)
 	}
-	if j.snapshot == "" {
+	if j.snapshot == "" && j.cyclesDone > 0 {
 		return JobView{}, fmt.Errorf("scenario: job %d has no committed snapshot to resume from", id)
 	}
+	prevState, prevErr, prevTarget := j.state, j.err, j.target
 	j.target = j.cyclesDone + extra
 	j.resumeFrom = j.snapshot
 	j.state = StateQueued
@@ -280,10 +440,13 @@ func (m *Manager) Resume(id, extra int) (JobView, error) {
 	select {
 	case m.queue <- j:
 	default:
-		j.state = StateFailed
-		j.err = "job queue is full"
+		// Requeue failed: put the record back the way it was — the job's
+		// terminal history must not be overwritten by a full queue.
+		j.state, j.err, j.target = prevState, prevErr, prevTarget
+		j.resumeFrom = ""
 		return JobView{}, fmt.Errorf("scenario: job queue is full")
 	}
+	m.logLocked(jrec{Op: opState, ID: j.id, State: StateQueued, Target: j.target})
 	return m.viewLocked(j), nil
 }
 
@@ -323,24 +486,30 @@ func (m *Manager) List() []JobView {
 }
 
 // Diags returns a copy of job id's per-cycle diagnostics starting at
-// index from, plus the job's current state (so streamers know when to
-// stop following).
-func (m *Manager) Diags(id, from int) ([]CycleDiag, string, error) {
+// cycle index from (0-based count of cycles to skip), the number of
+// leading cycles dropped from retention (so a streamer asking below
+// that point can detect the truncated prefix), and the job's current
+// state (so streamers know when to stop following).
+func (m *Manager) Diags(id, from int) ([]CycleDiag, int, string, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j, err := m.jobLocked(id)
 	if err != nil {
-		return nil, "", err
+		return nil, 0, "", err
 	}
 	if from < 0 {
 		from = 0
 	}
-	if from > len(j.diags) {
-		from = len(j.diags)
+	idx := from - j.diagBase
+	if idx < 0 {
+		idx = 0
 	}
-	out := make([]CycleDiag, len(j.diags)-from)
-	copy(out, j.diags[from:])
-	return out, j.state, nil
+	if idx > len(j.diags) {
+		idx = len(j.diags)
+	}
+	out := make([]CycleDiag, len(j.diags)-idx)
+	copy(out, j.diags[idx:])
+	return out, j.diagBase, j.state, nil
 }
 
 func (m *Manager) jobLocked(id int) (*job, error) {
@@ -353,12 +522,17 @@ func (m *Manager) jobLocked(id int) (*job, error) {
 func (m *Manager) viewLocked(j *job) JobView {
 	return JobView{
 		ID: j.id, Spec: j.spec, State: j.state, Error: j.err,
-		CyclesDone: j.cyclesDone, TargetCycles: j.target, Snapshot: j.snapshot,
+		CyclesDone: j.cyclesDone, TargetCycles: j.target,
+		Retries: j.retries, Snapshot: j.snapshot,
 	}
 }
 
+func (m *Manager) jobDir(id int) string {
+	return filepath.Join(m.root, fmt.Sprintf("job-%03d", id))
+}
+
 func (m *Manager) snapDir(j *job, cycle int) string {
-	return filepath.Join(m.root, fmt.Sprintf("job-%03d", j.id), fmt.Sprintf("cycle-%05d", cycle))
+	return filepath.Join(m.jobDir(j.id), fmt.Sprintf("cycle-%05d", cycle))
 }
 
 func (m *Manager) setError(j *job, err error) {
@@ -366,113 +540,5 @@ func (m *Manager) setError(j *job, err error) {
 	if j.err == "" {
 		j.err = err.Error()
 	}
-	m.mu.Unlock()
-}
-
-// runJob drives one queued job to a terminal state. The whole
-// communicator lives inside this call; every rank is a goroutine.
-func (m *Manager) runJob(j *job) {
-	m.mu.Lock()
-	j.state = StateRunning
-	target := j.target
-	resumeFrom := j.resumeFrom
-	j.resumeFrom = ""
-	every := j.spec.CheckpointEvery
-	m.mu.Unlock()
-
-	cfg := j.spec.Config()
-	sim.Run(j.spec.Ranks, func(r *sim.Rank) {
-		// The solvers panic on structurally impossible configurations.
-		// Panics from deterministic collective code reach every rank at
-		// the same point, so each rank recovers independently and the
-		// communicator unwinds cleanly.
-		defer func() {
-			if p := recover(); p != nil {
-				m.setError(j, fmt.Errorf("panic: %v", p))
-			}
-		}()
-
-		var s *rhea.Sim
-		var err error
-		lastSnap := -1
-		if resumeFrom != "" {
-			s, err = rhea.Restore(r, cfg, resumeFrom)
-			if err != nil {
-				m.setError(j, err)
-				return
-			}
-			lastSnap = s.Step / s.Cfg.AdaptEvery
-		} else {
-			s = rhea.New(r, cfg)
-		}
-		start := s.Step / s.Cfg.AdaptEvery
-
-		for c := start; c < target; c++ {
-			// The stop flag is sampled per rank at different times; the
-			// sum makes the decision identical everywhere so no rank
-			// leaves the collective sequence early.
-			var bit int64
-			if j.stop.Load() {
-				bit = 1
-			}
-			if r.AllreduceInt64(bit) > 0 {
-				if c > lastSnap {
-					if err := s.Checkpoint(m.snapDir(j, c)); err != nil {
-						m.setError(j, err)
-						return
-					}
-					if r.ID() == 0 {
-						m.commitSnapshot(j, m.snapDir(j, c))
-					}
-				}
-				return
-			}
-
-			t0 := time.Now()
-			ad := s.RunCycle()
-			d := CycleDiag{
-				Cycle:       c + 1,
-				Step:        s.Step,
-				Time:        s.TimeNow,
-				Elements:    ad.ElementsNow,
-				MinresIters: s.LastMinres().Iterations,
-				Nu:          s.Nusselt(),
-				Vrms:        s.RMSVelocity(),
-				WallSecs:    time.Since(t0).Seconds(),
-			}
-			if r.ID() == 0 {
-				m.mu.Lock()
-				j.diags = append(j.diags, d)
-				j.cyclesDone = c + 1
-				m.mu.Unlock()
-			}
-			if (every > 0 && (c+1)%every == 0) || c+1 == target {
-				if err := s.Checkpoint(m.snapDir(j, c+1)); err != nil {
-					m.setError(j, err)
-					return
-				}
-				lastSnap = c + 1
-				if r.ID() == 0 {
-					m.commitSnapshot(j, m.snapDir(j, c+1))
-				}
-			}
-		}
-	})
-
-	m.mu.Lock()
-	switch {
-	case j.err != "":
-		j.state = StateFailed
-	case j.cyclesDone < target:
-		j.state = StateStopped
-	default:
-		j.state = StateDone
-	}
-	m.mu.Unlock()
-}
-
-func (m *Manager) commitSnapshot(j *job, dir string) {
-	m.mu.Lock()
-	j.snapshot = dir
 	m.mu.Unlock()
 }

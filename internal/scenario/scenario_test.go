@@ -21,6 +21,17 @@ func tinySpec(cycles int) Spec {
 	}
 }
 
+// newTestManager builds a Manager rooted in a fresh temp dir (or the
+// given dir, for restart tests) and fails the test on journal errors.
+func newTestManager(t *testing.T, root string, workers int) *Manager {
+	t.Helper()
+	m, err := NewManager(root, workers)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	return m
+}
+
 // waitTerminal polls job id until it leaves the queued/running states.
 func waitTerminal(t *testing.T, m *Manager, id int) JobView {
 	t.Helper()
@@ -40,7 +51,7 @@ func waitTerminal(t *testing.T, m *Manager, id int) JobView {
 }
 
 func TestJobLifecycle(t *testing.T) {
-	m := NewManager(t.TempDir(), 2)
+	m := newTestManager(t, t.TempDir(), 2)
 	defer m.Close()
 
 	v, err := m.Submit(tinySpec(2))
@@ -64,9 +75,9 @@ func TestJobLifecycle(t *testing.T) {
 		t.Errorf("snapshot manifest missing: %v", err)
 	}
 
-	ds, state, err := m.Diags(v.ID, 0)
-	if err != nil || state != StateDone {
-		t.Fatalf("Diags: %v (state %s)", err, state)
+	ds, dropped, state, err := m.Diags(v.ID, 0)
+	if err != nil || state != StateDone || dropped != 0 {
+		t.Fatalf("Diags: %v (state %s, dropped %d)", err, state, dropped)
 	}
 	if len(ds) != 2 {
 		t.Fatalf("%d diag records, want 2", len(ds))
@@ -93,7 +104,7 @@ func TestJobLifecycle(t *testing.T) {
 // produce bit-identical cycle-2 diagnostics to a job run 2 cycles
 // straight.
 func TestResumeContinuesExactTrajectory(t *testing.T) {
-	m := NewManager(t.TempDir(), 1)
+	m := newTestManager(t, t.TempDir(), 1)
 	defer m.Close()
 
 	a, err := m.Submit(tinySpec(2))
@@ -122,11 +133,11 @@ func TestResumeContinuesExactTrajectory(t *testing.T) {
 		t.Fatalf("resumed job finished %s with %d cycles (%q)", bv.State, bv.CyclesDone, bv.Error)
 	}
 
-	da, _, err := m.Diags(a.ID, 0)
+	da, _, _, err := m.Diags(a.ID, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	db, _, err := m.Diags(b.ID, 0)
+	db, _, _, err := m.Diags(b.ID, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +158,7 @@ func TestResumeContinuesExactTrajectory(t *testing.T) {
 // cycle, still leaves a resumable snapshot, and a resume finishes the
 // work.
 func TestStopAndResume(t *testing.T) {
-	m := NewManager(t.TempDir(), 1)
+	m := newTestManager(t, t.TempDir(), 1)
 	defer m.Close()
 
 	// One worker: job b stays queued while a runs, so the stop flag is
@@ -185,7 +196,7 @@ func TestStopAndResume(t *testing.T) {
 }
 
 func TestSubmitValidation(t *testing.T) {
-	m := NewManager(t.TempDir(), 1)
+	m := newTestManager(t, t.TempDir(), 1)
 	defer m.Close()
 	bad := []Spec{
 		{Kind: "torus", Cycles: 1},
@@ -203,7 +214,7 @@ func TestSubmitValidation(t *testing.T) {
 }
 
 func TestResumeRejectsActiveJob(t *testing.T) {
-	m := NewManager(t.TempDir(), 1)
+	m := newTestManager(t, t.TempDir(), 1)
 	defer m.Close()
 	v, err := m.Submit(tinySpec(1))
 	if err != nil {
@@ -221,7 +232,7 @@ func TestResumeRejectsActiveJob(t *testing.T) {
 // TestConcurrentJobs drives several jobs through a two-worker pool at
 // once — the race-detector target for the worker pool and job table.
 func TestConcurrentJobs(t *testing.T) {
-	m := NewManager(t.TempDir(), 2)
+	m := newTestManager(t, t.TempDir(), 2)
 	defer m.Close()
 	const n = 4
 	ids := make([]int, n)

@@ -127,7 +127,10 @@ func (h *handler) item(w http.ResponseWriter, r *http.Request) {
 // diag writes per-cycle diagnostics as JSON lines. Without follow it
 // dumps what exists and returns; with follow it keeps polling the
 // manager (state and new cycles are read under one lock, so a terminal
-// state observed here implies every cycle has been drained).
+// state observed here implies every cycle has been drained). When the
+// retention window has dropped cycles the client asked for, the
+// X-Diag-Dropped header carries the count of unavailable leading
+// cycles so streamers can detect the truncated prefix.
 func (h *handler) diag(w http.ResponseWriter, r *http.Request, id int) {
 	q := r.URL.Query()
 	from, _ := strconv.Atoi(q.Get("from"))
@@ -136,7 +139,7 @@ func (h *handler) diag(w http.ResponseWriter, r *http.Request, id int) {
 	enc := json.NewEncoder(w)
 	fl, _ := w.(http.Flusher)
 	for {
-		ds, state, err := h.m.Diags(id, from)
+		ds, dropped, state, err := h.m.Diags(id, from)
 		if err != nil {
 			if first {
 				writeErr(w, err)
@@ -145,17 +148,24 @@ func (h *handler) diag(w http.ResponseWriter, r *http.Request, id int) {
 		}
 		if first {
 			w.Header().Set("Content-Type", "application/x-ndjson")
+			if dropped > from {
+				w.Header().Set("X-Diag-Dropped", strconv.Itoa(dropped))
+			}
 			w.WriteHeader(http.StatusOK)
 			first = false
 		}
 		for i := range ds {
 			enc.Encode(&ds[i])
 		}
-		from += len(ds)
-		if fl != nil && len(ds) > 0 {
-			fl.Flush()
+		if len(ds) > 0 {
+			// Advance by delivered cycle number, not by count: a recovery
+			// rewind may re-produce (bit-identical) cycles we already sent.
+			from = ds[len(ds)-1].Cycle
+			if fl != nil {
+				fl.Flush()
+			}
 		}
-		terminal := state == StateDone || state == StateStopped || state == StateFailed
+		terminal := state != StateQueued && state != StateRunning
 		if !follow || terminal {
 			return
 		}

@@ -15,7 +15,10 @@ import (
 
 func newTestServer(t *testing.T) (*httptest.Server, *Manager) {
 	t.Helper()
-	m := NewManager(t.TempDir(), 1)
+	m, err := NewManager(t.TempDir(), 1)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
 	srv := httptest.NewServer(NewHandler(m))
 	t.Cleanup(func() {
 		srv.Close()

@@ -1,0 +1,206 @@
+package sim
+
+// Fault tolerance: the runtime's answer to "what happens when a rank
+// dies". On the paper's target machine (tens of thousands of cores) a
+// component failure during a multi-day run is a certainty, not a
+// possibility; the simulated runtime models it so the layers above
+// (checkpointing, the scenario service's retry loop) can be exercised
+// against real failures instead of assuming a perfect machine.
+//
+// A rank dies in one of three ways: a deterministic injected fault
+// (Faults, for tests and chaos drills), an explicit Kill call from rank
+// code, or a panic escaping the rank function (a genuine bug). In every
+// case the world aborts: the first failure is recorded, every mailbox
+// is poisoned and every blocked or future communication operation on
+// any surviving rank unwinds with ErrRankFailed instead of deadlocking.
+// World.Run waits for all rank goroutines to exit — no goroutine ever
+// leaks past Run — and returns the failure as its error.
+//
+// Abort propagation is cooperative at communication boundaries: a rank
+// in the middle of pure local computation keeps computing until its
+// next Send/Recv/collective, where it unwinds. A rank that hangs
+// without communicating (modeled by Faults.Hang) can only be freed by
+// World.Abort — which is what the scenario service's per-cycle
+// watchdog calls when a job stops making progress.
+
+import (
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// ErrRankFailed is the error every surviving rank's communication
+// unwinds with — and World.Run returns — after a rank dies or the
+// world is aborted. Rank is the world rank that failed, or -1 for an
+// external World.Abort; Op names the operation at which it died.
+type ErrRankFailed struct {
+	Rank int
+	Op   string
+}
+
+func (e ErrRankFailed) Error() string {
+	if e.Rank < 0 {
+		return fmt.Sprintf("sim: run aborted: %s", e.Op)
+	}
+	return fmt.Sprintf("sim: rank %d failed at %s", e.Rank, e.Op)
+}
+
+// Faults is a deterministic fault-injection plan, installed on a World
+// with SetFaults before Run. It kills (or hangs) one chosen rank at a
+// chosen operation index, so a failure can be replayed at exactly the
+// same point of the communication schedule on every run. Operation
+// counts are per KillRank and 1-based: AtCollective n fires when the
+// rank enters its n-th collective call (on any communicator, Subset
+// included), AtSend n when it enters its n-th Rank.Send. At most one
+// trigger may be set.
+type Faults struct {
+	KillRank     int           // world rank to kill
+	AtCollective int           // fire entering this rank's n-th collective (0: unused)
+	AtSend       int           // fire entering this rank's n-th Send (0: unused)
+	Hang         bool          // hang (wakeable only by abort) instead of dying loudly
+	Delay        time.Duration // optional pause before the fault takes effect
+}
+
+// SetFaults installs a fault-injection plan. It must be called before
+// Run; a nil plan clears injection.
+func (w *World) SetFaults(f *Faults) {
+	if f != nil {
+		if f.KillRank < 0 || f.KillRank >= w.size {
+			panic(fmt.Sprintf("sim: fault KillRank %d outside world of %d ranks", f.KillRank, w.size))
+		}
+		set := 0
+		if f.AtCollective > 0 {
+			set++
+		}
+		if f.AtSend > 0 {
+			set++
+		}
+		if set != 1 {
+			panic("sim: fault plan must set exactly one of AtCollective/AtSend (positive, 1-based)")
+		}
+	}
+	w.faults = f
+}
+
+// Abort kills the whole run from outside the rank goroutines: every
+// rank's next (or currently blocked) communication operation unwinds,
+// and World.Run returns ErrRankFailed{Rank: -1, Op: op}. Safe to call
+// from any goroutine, any number of times; the first failure wins.
+// This is the hook for external supervisors — a watchdog that detects
+// a hung communicator aborts it instead of leaking the run forever.
+func (w *World) Abort(op string) {
+	w.fail(ErrRankFailed{Rank: -1, Op: op})
+}
+
+// Kill terminates the calling rank as if it had crashed at the given
+// operation: the world aborts and the run's error is ErrRankFailed
+// naming this rank and op. It must be called from inside a rank
+// function; it does not return. Application layers use it to inject
+// failures at points the transport layer cannot see (e.g. a scenario
+// cycle boundary).
+func Kill(op string) {
+	panic(killUnwind{op: op})
+}
+
+// killUnwind is the panic payload of an injected or explicit kill: the
+// rank is the failure's origin.
+type killUnwind struct{ op string }
+
+// abortUnwind is the panic payload unwinding a *surviving* rank after
+// some other failure poisoned the world; it is not a new failure.
+type abortUnwind struct{ err ErrRankFailed }
+
+// fail records the first failure, closes the abort channel and poisons
+// every mailbox so all blocked consumers wake and unwind. Later
+// failures are ignored (the first rank to die is the run's cause; the
+// cascade of unwinding survivors is not).
+func (w *World) fail(e ErrRankFailed) {
+	if !w.failed.CompareAndSwap(nil, &e) {
+		return
+	}
+	close(w.abortCh)
+	for _, mb := range w.boxes {
+		mb.poison(&e)
+	}
+}
+
+// checkAbort unwinds the calling rank if the world has failed. Called
+// at the entry of every communication operation, so no rank can keep
+// communicating with (or blocking on) a dead world.
+func (r *Rank) checkAbort() {
+	if f := r.world.failed.Load(); f != nil {
+		panic(abortUnwind{err: *f})
+	}
+}
+
+// Fault trigger kinds for enterOp.
+const (
+	opCollective = iota
+	opSend
+)
+
+// enterOp is the per-operation gate: abort check first, then fault
+// injection. kind selects which of the rank's operation counters
+// advances; op names the operation for the failure record. Counters
+// only advance while a fault plan targets this rank, so the plan's
+// indices are stable and the no-faults fast path stays cheap.
+func (r *Rank) enterOp(kind int, op string) {
+	r.checkAbort()
+	w := r.world
+	f := w.faults
+	if f == nil || r.wid != f.KillRank {
+		return
+	}
+	c := &w.ops[r.wid]
+	var n, at int
+	switch kind {
+	case opCollective:
+		c.colls++
+		n, at = c.colls, f.AtCollective
+	case opSend:
+		c.sends++
+		n, at = c.sends, f.AtSend
+	}
+	if at <= 0 || n != at {
+		return
+	}
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if f.Hang {
+		// A hung rank: it holds no locks and sends nothing, it just
+		// stops participating. Only an abort (a peer's failure or an
+		// external watchdog) can free it.
+		<-w.abortCh
+		r.checkAbort()
+		return // unreachable: abortCh closes only via fail
+	}
+	panic(killUnwind{op: fmt.Sprintf("%s[%d] (injected fault)", op, n)})
+}
+
+// opCounts tracks one rank's fault-relevant operation indices. Each
+// entry is touched only by its owning rank goroutine.
+type opCounts struct{ colls, sends int }
+
+// runRank executes fn as rank id, converting every way the rank can
+// die into a recorded failure: an injected or explicit Kill, or a
+// panic escaping fn (a real bug — its message and stack become the
+// failure's Op). An abortUnwind is the rank being unwound by someone
+// else's failure and records nothing.
+func (w *World) runRank(id int, fn func(*Rank)) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		switch v := p.(type) {
+		case abortUnwind:
+			// Survivor unwound cleanly after another rank's failure.
+		case killUnwind:
+			w.fail(ErrRankFailed{Rank: id, Op: v.op})
+		default:
+			w.fail(ErrRankFailed{Rank: id, Op: fmt.Sprintf("panic: %v\n%s", v, debug.Stack())})
+		}
+	}()
+	fn(&Rank{world: w, id: id, wid: id, tagBase: 1})
+}

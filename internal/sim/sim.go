@@ -44,6 +44,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Stats records the communication activity of one rank. Transport is
@@ -112,6 +113,8 @@ type mailbox struct {
 	wantAny  bool
 	wantFrom int
 	wantTag  int
+
+	fail *ErrRankFailed // set when the world aborts; every take unwinds
 }
 
 func newMailbox() *mailbox {
@@ -146,6 +149,16 @@ func (mb *mailbox) put(m message) {
 	}
 }
 
+// poison marks the mailbox dead and wakes its consumer regardless of
+// what stream it waits on: the next (or current) take unwinds with the
+// recorded failure instead of blocking on a dead world.
+func (mb *mailbox) poison(e *ErrRankFailed) {
+	mb.mu.Lock()
+	mb.fail = e
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
 // drop removes the bookkeeping for a drained stream.
 func (mb *mailbox) drop(k mbkey) {
 	delete(mb.byKey, k)
@@ -164,6 +177,9 @@ func (mb *mailbox) take(from, tag int) message {
 	defer mb.mu.Unlock()
 	k := mbkey{from, tag}
 	for {
+		if mb.fail != nil {
+			panic(abortUnwind{err: *mb.fail})
+		}
 		if q := mb.byKey[k]; q != nil && !q.empty() {
 			m := q.pop()
 			if q.empty() {
@@ -183,6 +199,9 @@ func (mb *mailbox) takeAny(tag int) message {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
+		if mb.fail != nil {
+			panic(abortUnwind{err: *mb.fail})
+		}
 		if set := mb.ready[tag]; len(set) > 0 {
 			var from int
 			for f := range set {
@@ -211,6 +230,13 @@ type World struct {
 	stats []Stats
 	statm []sync.Mutex
 
+	// Fault tolerance (see fault.go): the first failure poisons every
+	// mailbox, closes abortCh and becomes Run's error.
+	failed  atomic.Pointer[ErrRankFailed]
+	abortCh chan struct{}
+	faults  *Faults
+	ops     []opCounts
+
 	// Collective tag namespace registry: every communicator derived via
 	// Subset gets a world-unique tagBase, allocated on first request and
 	// keyed by (parent tagBase, per-parent subset index) so all members
@@ -235,6 +261,8 @@ func NewWorld(size int) *World {
 	w.statm = make([]sync.Mutex, size)
 	w.tagReg = make(map[[2]int64]int64)
 	w.tagNext = 2 // 1 is the world communicator's namespace
+	w.abortCh = make(chan struct{})
+	w.ops = make([]opCounts, size)
 	return w
 }
 
@@ -259,25 +287,48 @@ func (w *World) subsetTag(parent, idx int64) int64 {
 // Size returns the number of ranks in the world.
 func (w *World) Size() int { return w.size }
 
-// Run executes fn on every rank concurrently and returns when all ranks
-// have finished. It returns the per-rank communication statistics.
-func (w *World) Run(fn func(*Rank)) []Stats {
+// Run executes fn on every rank concurrently and returns when every
+// rank goroutine has exited — including after a failure, so no
+// goroutine ever leaks past Run. It returns the per-rank communication
+// statistics, plus the failure (an ErrRankFailed) if any rank died —
+// by injected fault, explicit Kill, escaping panic — or the world was
+// aborted; surviving ranks unwind at their next communication
+// operation instead of deadlocking on the dead rank.
+func (w *World) Run(fn func(*Rank)) ([]Stats, error) {
 	var wg sync.WaitGroup
 	wg.Add(w.size)
 	for i := 0; i < w.size; i++ {
 		go func(id int) {
 			defer wg.Done()
-			fn(&Rank{world: w, id: id, wid: id, tagBase: 1})
+			w.runRank(id, fn)
 		}(i)
 	}
 	wg.Wait()
 	out := make([]Stats, w.size)
 	copy(out, w.stats)
-	return out
+	if f := w.failed.Load(); f != nil {
+		return out, *f
+	}
+	return out, nil
 }
 
-// Run is shorthand for NewWorld(size).Run(fn).
+// Run is shorthand for NewWorld(size).Run(fn) for callers that treat a
+// rank failure as fatal: it panics with the run's ErrRankFailed (which
+// carries the original panic message and stack for a genuine bug), so
+// a failure in a fire-and-forget run is loud instead of silently
+// swallowed. Fault-tolerant callers use World.Run (or TryRun) and
+// handle the error.
 func Run(size int, fn func(*Rank)) []Stats {
+	stats, err := NewWorld(size).Run(fn)
+	if err != nil {
+		panic(err)
+	}
+	return stats
+}
+
+// TryRun is shorthand for NewWorld(size).Run(fn): it returns the
+// failure, if any, instead of panicking.
+func TryRun(size int, fn func(*Rank)) ([]Stats, error) {
 	return NewWorld(size).Run(fn)
 }
 
@@ -346,6 +397,7 @@ func (r *Rank) Subset(members []int) *Comm {
 	if len(members) == 0 {
 		panic("sim: communicator subset must have at least one member")
 	}
+	r.enterOp(opCollective, "Subset")
 	base := r.world.subsetTag(r.tagBase, int64(r.subs))
 	r.subs++
 	world := make([]int, len(members))
@@ -399,6 +451,7 @@ func (r *Rank) Send(to, tag int, data any, nbytes int) {
 	if tag >= collTagBase {
 		panic("sim: user tag collides with collective tag space")
 	}
+	r.enterOp(opSend, "Send")
 	r.sendUser(to, tag, data, int64(nbytes))
 }
 
@@ -409,6 +462,7 @@ func (r *Rank) transport(to, tag int, data any, nbytes int64, coll bool) {
 	if r.id < 0 {
 		panic("sim: communication on a communicator this rank is not a member of")
 	}
+	r.checkAbort()
 	r.world.boxes[r.worldOf(to)].put(message{from: r.id, tag: tag, data: data, nbytes: nbytes})
 	w := r.world
 	w.statm[r.wid].Lock()
@@ -454,6 +508,15 @@ func (r *Rank) nextCollTag() int {
 	t := int(r.tagBase<<33) + collTagBase + r.collSeq
 	r.collSeq++
 	return t
+}
+
+// collTag is nextCollTag behind the per-operation fault gate: every
+// public collective passes through it (or enterOp directly) exactly
+// once at entry, so Faults.AtCollective indices count whole collective
+// operations — not the extra internal tags some of them allocate.
+func (r *Rank) collTag(op string) int {
+	r.enterOp(opCollective, op)
+	return r.nextCollTag()
 }
 
 func (r *Rank) countCollective(nbytes int64) {
@@ -614,7 +677,7 @@ func (r *Rank) reduceBcastInt64Vec(tagUp, tagDown int, v []int64) []int64 {
 // Barrier blocks until every rank has entered the barrier
 // (ceil(log2 P)-round Bruck dissemination).
 func (r *Rank) Barrier() {
-	tag := r.nextCollTag()
+	tag := r.collTag("Barrier")
 	r.countCollective(0)
 	r.bruckAllgather(tag, nil, 0)
 }
@@ -623,7 +686,7 @@ func (r *Rank) Barrier() {
 // every rank (Bruck concatenation, ceil(log2 P) rounds). Payloads are
 // shared by reference across ranks and must not be mutated afterwards.
 func (r *Rank) Allgather(data any, nbytes int) []any {
-	tag := r.nextCollTag()
+	tag := r.collTag("Allgather")
 	r.countCollective(int64(nbytes))
 	return r.bruckAllgather(tag, data, int64(nbytes))
 }
@@ -632,7 +695,7 @@ func (r *Rank) Allgather(data any, nbytes int) []any {
 // by rank. This mirrors the paper's MPI_Allgather of one long integer per
 // core used to exchange leaf ranges.
 func (r *Rank) AllgatherInt64(v int64) []int64 {
-	tag := r.nextCollTag()
+	tag := r.collTag("AllgatherInt64")
 	r.countCollective(8)
 	all := r.bruckAllgather(tag, v, 8)
 	out := make([]int64, len(all))
@@ -678,7 +741,7 @@ var (
 // result is bit-identical across runs, independent of arrival order, and
 // equal to a serial left fold over ranks 0..P-1.
 func (r *Rank) Allreduce(v float64, op ReduceOp) float64 {
-	tag := r.nextCollTag()
+	tag := r.collTag("Allreduce")
 	r.countCollective(8)
 	all := r.bruckAllgather(tag, v, 8)
 	acc := all[0].(float64)
@@ -690,7 +753,7 @@ func (r *Rank) Allreduce(v float64, op ReduceOp) float64 {
 
 // AllreduceInt64 combines one int64 per rank by summation.
 func (r *Rank) AllreduceInt64(v int64) int64 {
-	tag := r.nextCollTag()
+	tag := r.collTag("AllreduceInt64")
 	r.countCollective(8)
 	all := r.bruckAllgather(tag, v, 8)
 	var acc int64
@@ -719,7 +782,7 @@ const allreduceVecCutoff = 1024
 // identical results (equal to a serial left fold over ranks 0..P-1) in
 // at most 2·ceil(log2 P) rounds.
 func (r *Rank) AllreduceVec(v []float64) []float64 {
-	tag := r.nextCollTag()
+	tag := r.collTag("AllreduceVec")
 	nb := int64(8 * len(v))
 	r.countCollective(nb)
 	p := r.Size()
@@ -822,7 +885,7 @@ func (r *Rank) allreduceVecHalving(tag int, v []float64) []float64 {
 // ExScan returns the exclusive prefix sum of v across ranks: rank i
 // receives sum of v over ranks 0..i-1 (0 on rank 0).
 func (r *Rank) ExScan(v int64) int64 {
-	tag := r.nextCollTag()
+	tag := r.collTag("ExScan")
 	r.countCollective(8)
 	all := r.bruckAllgather(tag, v, 8)
 	var run int64
@@ -836,7 +899,7 @@ func (r *Rank) ExScan(v int64) int64 {
 // float64 values (0 on rank 0); the fold runs in rank order, so results
 // are bit-identical across runs.
 func (r *Rank) ExScanFloat(v float64) float64 {
-	tag := r.nextCollTag()
+	tag := r.collTag("ExScanFloat")
 	r.countCollective(8)
 	all := r.bruckAllgather(tag, v, 8)
 	var run float64
@@ -878,7 +941,7 @@ func (r *Rank) AllreduceError(err error) error {
 // nbytes is the modeled payload size; pass it on every rank (forwarding
 // ranks are charged for their tree sends).
 func (r *Rank) Bcast(root int, data any, nbytes int) any {
-	tag := r.nextCollTag()
+	tag := r.collTag("Bcast")
 	r.countCollective(int64(nbytes))
 	return r.bcastTree(root, tag, data, int64(nbytes))
 }
@@ -897,7 +960,7 @@ func (r *Rank) Alltoall(out []any, nbytes []int) []any {
 	if len(out) != r.Size() {
 		panic("sim: Alltoall payload count != communicator size")
 	}
-	tag := r.nextCollTag()
+	tag := r.collTag("Alltoall")
 	var total int64
 	for j, d := range out {
 		if j == r.id {
@@ -938,6 +1001,7 @@ func (r *Rank) Alltoall(out []any, nbytes []int) []any {
 // NeighborExchange instead to skip the handshake entirely.
 func (r *Rank) AlltoallvSparse(dests []int, payloads []any, nbytes []int) ([]int, []any) {
 	p := r.Size()
+	r.enterOp(opCollective, "AlltoallvSparse")
 	tagUp, tagDown, tagPay := r.nextCollTag(), r.nextCollTag(), r.nextCollTag()
 	counts := make([]int64, p)
 	var selfIdx []int
@@ -993,7 +1057,7 @@ func (r *Rank) AlltoallvSparse(dests []int, payloads []any, nbytes []int) ([]int
 // len(recvFrom) targeted receives. A self entry in sendTo is delivered
 // locally to the matching self entry in recvFrom.
 func (r *Rank) NeighborExchange(sendTo []int, payloads []any, nbytes []int, recvFrom []int) []any {
-	tag := r.nextCollTag()
+	tag := r.collTag("NeighborExchange")
 	var selfs []any // self payloads, consumed in send order like a FIFO stream
 	for k, to := range sendTo {
 		if to == r.id {
